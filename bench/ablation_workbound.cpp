@@ -1,0 +1,59 @@
+// Ablation: empirical verification of the paper's work bounds.
+//
+//  * Thm. 3.2 — tournament-tree nodes visited per element should track
+//    log2(k), not log2(n): the table prints visits/n against k.
+//  * SWGS wake-up scheme — probes per element should stay O(log n) whp
+//    regardless of k (each probe costs O(log^2 n) on the oracle, which is
+//    where the O(n log^3 n) total work comes from).
+//
+// Flags: --n, --maxk, --threads.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "parlis/lis/tournament_tree.hpp"
+#include "parlis/swgs/swgs.hpp"
+#include "parlis/util/generators.hpp"
+
+using namespace parlis;
+using namespace parlis::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  int64_t n = flags.get("n", 1 << 20);
+  int64_t maxk = flags.get("maxk", 100000);
+  int64_t swgs_n = flags.get("swgsn", std::min<int64_t>(n, 1 << 17));
+  if (flags.has("threads")) set_num_workers(static_cast<int>(flags.get("threads", 0)));
+  std::printf("ablation_workbound: n=%lld (swgs on n=%lld), threads=%d\n",
+              static_cast<long long>(n), static_cast<long long>(swgs_n),
+              num_workers());
+
+  std::printf("\n%10s  %14s  %14s  %14s  %16s\n", "k", "visits/n",
+              "log2(k+1)", "visits/nlog2k", "swgs probes/n");
+  for (int64_t target_k : k_sweep(maxk)) {
+    auto a = line_pattern(n, target_k, 41 + target_k);
+    TournamentTree<int64_t> t(a, INT64_MAX);
+    int64_t k = 0;
+    while (!t.empty()) {
+      t.extract_frontier([](int64_t) {});
+      k++;
+    }
+    double per_elem = static_cast<double>(t.nodes_visited()) /
+                      static_cast<double>(n);
+    double logk = std::log2(static_cast<double>(k) + 1.0);
+    auto a_small = line_pattern(swgs_n, target_k, 43 + target_k);
+    SwgsResult sw = swgs_lis_ranks(a_small);
+    double probes = static_cast<double>(sw.total_checks) /
+                    static_cast<double>(swgs_n);
+    std::printf("%10lld  %14.2f  %14.2f  %14.2f  %16.2f\n",
+                static_cast<long long>(k), per_elem, logk, per_elem / logk,
+                probes);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nvisits/nlog2k should be a bounded constant across the sweep "
+      "(Thm. 3.2: total visits = O(n log k)); swgs probes/n should stay "
+      "O(log n) = %.1f whp regardless of k.\n",
+      std::log2(static_cast<double>(swgs_n)));
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Shared helpers for the figure-reproduction harnesses: flag parsing,
+// timing, and aligned table/CSV output matching the series the paper plots.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "parlis/parallel/scheduler.hpp"
+#include "parlis/util/timer.hpp"
+
+namespace parlis::bench {
+
+/// Minimal --key value / --key=value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; i++) args_.push_back(argv[i]);
+  }
+  int64_t get(const std::string& key, int64_t def) const {
+    std::string k = "--" + key;
+    for (size_t i = 0; i < args_.size(); i++) {
+      if (args_[i] == k && i + 1 < args_.size()) {
+        return std::atoll(args_[i + 1].c_str());
+      }
+      if (args_[i].rfind(k + "=", 0) == 0) {
+        return std::atoll(args_[i].c_str() + k.size() + 1);
+      }
+    }
+    return def;
+  }
+  bool has(const std::string& key) const {
+    std::string k = "--" + key;
+    for (const auto& a : args_) {
+      if (a == k || a.rfind(k + "=", 0) == 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+/// Median-of-reps wall-clock time of fn (warm-up excluded when reps > 1).
+inline double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; r++) {
+    Timer t;
+    fn();
+    best = std::min(best, t.elapsed());
+  }
+  return best;
+}
+
+/// Accumulates and prints a "k, series..." table + CSV (the paper's plots
+/// are time-vs-k line series; the rows here regenerate one figure).
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void add_row(int64_t k, const std::vector<double>& values) {
+    rows_.push_back({k, values});
+  }
+
+  void print(const char* title) const {
+    std::printf("\n== %s ==\n", title);
+    std::printf("%12s", "k");
+    for (const auto& c : columns_) std::printf("  %14s", c.c_str());
+    std::printf("\n");
+    for (const auto& [k, vals] : rows_) {
+      std::printf("%12lld", static_cast<long long>(k));
+      for (size_t i = 0; i < columns_.size(); i++) {
+        if (i < vals.size() && vals[i] >= 0) {
+          std::printf("  %14.4f", vals[i]);
+        } else {
+          std::printf("  %14s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("csv,k");
+    for (const auto& c : columns_) std::printf(",%s", c.c_str());
+    std::printf("\n");
+    for (const auto& [k, vals] : rows_) {
+      std::printf("csv,%lld", static_cast<long long>(k));
+      for (size_t i = 0; i < columns_.size(); i++) {
+        if (i < vals.size() && vals[i] >= 0) {
+          std::printf(",%.6f", vals[i]);
+        } else {
+          std::printf(",");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::pair<int64_t, std::vector<double>>> rows_;
+};
+
+/// Runs fn with the pool forced into sequential (one-thread) execution.
+inline double timed_sequential(int reps, const std::function<void()>& fn) {
+  bool prev = set_sequential_mode(true);
+  double t = time_best_of(reps, fn);
+  set_sequential_mode(prev);
+  return t;
+}
+
+/// Logarithmic sweep of target-k values up to maxk.
+inline std::vector<int64_t> k_sweep(int64_t maxk, double factor = 10.0) {
+  std::vector<int64_t> ks;
+  for (double k = 1; k <= static_cast<double>(maxk); k *= factor) {
+    ks.push_back(static_cast<int64_t>(k));
+  }
+  return ks;
+}
+
+}  // namespace parlis::bench

@@ -1,0 +1,44 @@
+// Figure 7(a): LIS running time vs LIS length k, *line pattern*.
+// Series: Seq-BS, SWGS, Ours (seq), Ours.   Paper setup: n = 10^8, 96 cores.
+// Default here: n = 10^6 (scaled for the reproduction machine; see
+// EXPERIMENTS.md). Flags: --n, --maxk, --swgsmaxk, --threads, --reps.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "parlis/lis/lis.hpp"
+#include "parlis/lis/seq_lis.hpp"
+#include "parlis/swgs/swgs.hpp"
+#include "parlis/util/generators.hpp"
+
+using namespace parlis;
+using namespace parlis::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  int64_t n = flags.get("n", 1000000);
+  int64_t maxk = flags.get("maxk", 100000);
+  int64_t swgs_maxk = flags.get("swgsmaxk", 100);
+  int reps = static_cast<int>(flags.get("reps", 1));
+  if (flags.has("threads")) set_num_workers(static_cast<int>(flags.get("threads", 0)));
+  std::printf("fig7a: LIS, line pattern, n=%lld, threads=%d\n",
+              static_cast<long long>(n), num_workers());
+
+  SeriesTable table({"seq_bs", "swgs", "ours_seq", "ours"});
+  for (int64_t target_k : k_sweep(maxk)) {
+    auto a = line_pattern(n, target_k, 7 + target_k);
+    volatile int64_t sink = 0;
+    double t_bs = time_best_of(reps, [&] { sink = sink + seq_bs_length(a); });
+    int64_t k = seq_bs_length(a);  // realized LIS length
+    double t_swgs = -1;
+    if (target_k <= swgs_maxk) {
+      t_swgs = time_best_of(reps, [&] { sink = sink + swgs_lis_ranks(a).k; });
+    }
+    double t_seq = timed_sequential(reps, [&] { sink = sink + lis_ranks(a).k; });
+    double t_par = time_best_of(reps, [&] { sink = sink + lis_ranks(a).k; });
+    table.add_row(k, {t_bs, t_swgs, t_seq, t_par});
+    std::printf("  k=%lld done\n", static_cast<long long>(k));
+    std::fflush(stdout);
+  }
+  table.print("Fig 7(a): LIS, line pattern — seconds vs realized k");
+  return 0;
+}

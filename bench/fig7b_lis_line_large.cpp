@@ -1,0 +1,38 @@
+// Figure 7(b): LIS running time vs k, line pattern, the paper's largest
+// input (n = 10^9; scaled default n = 4*10^6 here). Series: Seq-BS,
+// Ours (seq), Ours — SWGS is excluded exactly as in the paper (it ran out
+// of memory at this scale). Flags: --n, --maxk, --threads, --reps.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "parlis/lis/lis.hpp"
+#include "parlis/lis/seq_lis.hpp"
+#include "parlis/util/generators.hpp"
+
+using namespace parlis;
+using namespace parlis::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  int64_t n = flags.get("n", 4000000);
+  int64_t maxk = flags.get("maxk", 1000000);
+  int reps = static_cast<int>(flags.get("reps", 1));
+  if (flags.has("threads")) set_num_workers(static_cast<int>(flags.get("threads", 0)));
+  std::printf("fig7b: LIS, line pattern (large), n=%lld, threads=%d\n",
+              static_cast<long long>(n), num_workers());
+
+  SeriesTable table({"seq_bs", "ours_seq", "ours"});
+  for (int64_t target_k : k_sweep(maxk)) {
+    auto a = line_pattern(n, target_k, 11 + target_k);
+    volatile int64_t sink = 0;
+    double t_bs = time_best_of(reps, [&] { sink = sink + seq_bs_length(a); });
+    int64_t k = seq_bs_length(a);
+    double t_seq = timed_sequential(reps, [&] { sink = sink + lis_ranks(a).k; });
+    double t_par = time_best_of(reps, [&] { sink = sink + lis_ranks(a).k; });
+    table.add_row(k, {t_bs, t_seq, t_par});
+    std::printf("  k=%lld done\n", static_cast<long long>(k));
+    std::fflush(stdout);
+  }
+  table.print("Fig 7(b): LIS, line pattern, large n — seconds vs realized k");
+  return 0;
+}

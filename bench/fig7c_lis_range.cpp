@@ -1,0 +1,39 @@
+// Figure 7(c): LIS running time vs k, *range pattern* (A_i uniform in
+// [1, k']), paper setup n = 10^9 with k' in [1, 6*10^4]; scaled default
+// n = 4*10^6. Series: Seq-BS, Ours (seq), Ours.
+// Flags: --n, --maxk, --threads, --reps.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "parlis/lis/lis.hpp"
+#include "parlis/lis/seq_lis.hpp"
+#include "parlis/util/generators.hpp"
+
+using namespace parlis;
+using namespace parlis::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  int64_t n = flags.get("n", 4000000);
+  int64_t maxk = flags.get("maxk", 60000);
+  int reps = static_cast<int>(flags.get("reps", 1));
+  if (flags.has("threads")) set_num_workers(static_cast<int>(flags.get("threads", 0)));
+  std::printf("fig7c: LIS, range pattern, n=%lld, threads=%d\n",
+              static_cast<long long>(n), num_workers());
+
+  SeriesTable table({"seq_bs", "ours_seq", "ours"});
+  for (int64_t kprime : k_sweep(maxk)) {
+    auto a = range_pattern(n, kprime, 13 + kprime);
+    volatile int64_t sink = 0;
+    double t_bs = time_best_of(reps, [&] { sink = sink + seq_bs_length(a); });
+    int64_t k = seq_bs_length(a);
+    double t_seq = timed_sequential(reps, [&] { sink = sink + lis_ranks(a).k; });
+    double t_par = time_best_of(reps, [&] { sink = sink + lis_ranks(a).k; });
+    table.add_row(k, {t_bs, t_seq, t_par});
+    std::printf("  k'=%lld realized k=%lld done\n",
+                static_cast<long long>(kprime), static_cast<long long>(k));
+    std::fflush(stdout);
+  }
+  table.print("Fig 7(c): LIS, range pattern — seconds vs realized k");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 7(d): Weighted LIS running time vs k, line pattern, uniform
+// weights. Series: Seq-AVL, SWGS, Ours-W (Alg. 2 + range tree). Paper
+// setup: n = 10^8, k in [1, 3000]; scaled default n = 2*10^5.
+// An extra column reports Ours-W with the Range-vEB structure (Sec. 4.2).
+// Flags: --n, --maxk, --swgsmaxk, --threads, --reps.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "parlis/swgs/swgs.hpp"
+#include "parlis/util/generators.hpp"
+#include "parlis/wlis/seq_avl.hpp"
+#include "parlis/wlis/wlis.hpp"
+
+using namespace parlis;
+using namespace parlis::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  int64_t n = flags.get("n", 200000);
+  int64_t maxk = flags.get("maxk", 3000);
+  int64_t swgs_maxk = flags.get("swgsmaxk", 3000);
+  int reps = static_cast<int>(flags.get("reps", 1));
+  if (flags.has("threads")) set_num_workers(static_cast<int>(flags.get("threads", 0)));
+  std::printf("fig7d: WLIS, line pattern, n=%lld, threads=%d\n",
+              static_cast<long long>(n), num_workers());
+
+  SeriesTable table({"seq_avl", "swgs", "ours_w", "ours_w_veb"});
+  auto w = uniform_weights(n, 99);
+  for (int64_t target_k : k_sweep(maxk, 5.5)) {
+    auto a = line_pattern(n, target_k, 17 + target_k);
+    volatile int64_t sink = 0;
+    double t_avl = time_best_of(reps, [&] { sink = sink + seq_avl_wlis(a, w).back(); });
+    double t_swgs = -1;
+    if (target_k <= swgs_maxk) {
+      t_swgs = time_best_of(reps, [&] { sink = sink + swgs_wlis(a, w).best; });
+    }
+    WlisResult probe = wlis(a, w, WlisStructure::kRangeTree);
+    int64_t k = probe.k;
+    double t_tree = time_best_of(
+        reps, [&] { sink = sink + wlis(a, w, WlisStructure::kRangeTree).best; });
+    double t_veb = time_best_of(
+        reps, [&] { sink = sink + wlis(a, w, WlisStructure::kRangeVeb).best; });
+    table.add_row(k, {t_avl, t_swgs, t_tree, t_veb});
+    std::printf("  k=%lld done\n", static_cast<long long>(k));
+    std::fflush(stdout);
+  }
+  table.print("Fig 7(d): WLIS, line pattern — seconds vs realized k");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Figure 8: self-relative speedup of our LIS vs #threads, for k = 10^2 and
+// k = 10^4, line and range patterns; Seq-BS shown as the flat baseline.
+// The paper sweeps 1..96 cores (192 hyperthreads); here the sweep covers
+// --threadlist (default "1,2,4") by re-executing this binary per thread
+// count (the pool size is fixed per process). On a single-core host the
+// curve is flat — see EXPERIMENTS.md. Flags: --n, --threadlist, --reps.
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "parlis/lis/lis.hpp"
+#include "parlis/lis/seq_lis.hpp"
+#include "parlis/util/generators.hpp"
+
+using namespace parlis;
+using namespace parlis::bench;
+
+namespace {
+
+std::vector<int> parse_list(const std::string& s) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    out.push_back(std::atoi(s.c_str() + pos));
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+// Child mode: run one measurement and print "RESULT <seconds>".
+int run_child(int64_t n, int64_t k, const char* pattern, int reps) {
+  auto a = std::strcmp(pattern, "line") == 0 ? line_pattern(n, k, 23 + k)
+                                             : range_pattern(n, k, 23 + k);
+  volatile int64_t sink = 0;
+  double t = time_best_of(reps, [&] { sink = sink + lis_ranks(a).k; });
+  std::printf("RESULT %.6f\n", t);
+  return 0;
+}
+
+double run_measurement(const char* self, int threads, int64_t n, int64_t k,
+                       const char* pattern, int reps) {
+  char cmd[512];
+  std::snprintf(cmd, sizeof(cmd),
+                "PARLIS_NUM_THREADS=%d %s --child 1 --n %lld --k %lld "
+                "--pattern-%s 1 --reps %d",
+                threads, self, static_cast<long long>(n),
+                static_cast<long long>(k), pattern, reps);
+  FILE* pipe = popen(cmd, "r");
+  if (!pipe) return -1;
+  char line[256];
+  double t = -1;
+  while (fgets(line, sizeof(line), pipe)) {
+    double v;
+    if (std::sscanf(line, "RESULT %lf", &v) == 1) t = v;
+  }
+  pclose(pipe);
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  int64_t n = flags.get("n", 2000000);
+  int reps = static_cast<int>(flags.get("reps", 1));
+  if (flags.has("child")) {
+    const char* pattern = flags.has("pattern-line") ? "line" : "range";
+    return run_child(n, flags.get("k", 100), pattern, reps);
+  }
+  std::string tl = "1,2,4";
+  if (flags.has("threadlist")) {
+    // crude: find the value after --threadlist
+    for (int i = 1; i + 1 < argc; i++) {
+      if (std::strcmp(argv[i], "--threadlist") == 0) tl = argv[i + 1];
+    }
+  }
+  std::vector<int> threads = parse_list(tl);
+  std::printf("fig8: LIS self-relative speedup, n=%lld, threads={%s}\n",
+              static_cast<long long>(n), tl.c_str());
+
+  struct Config {
+    const char* name;
+    const char* pattern;
+    int64_t k;
+  };
+  std::array<Config, 4> configs = {{{"ours-line-k1e2", "line", 100},
+                                    {"ours-range-k1e2", "range", 100},
+                                    {"ours-line-k1e4", "line", 10000},
+                                    {"ours-range-k1e4", "range", 10000}}};
+  // Seq-BS baseline time per configuration (the dashed line in Fig. 8).
+  std::printf("\n%-18s", "series");
+  for (int t : threads) std::printf("  P=%-10d", t);
+  std::printf("  %-12s\n", "seq_bs(s)");
+  for (const Config& cfg : configs) {
+    auto a = std::strcmp(cfg.pattern, "line") == 0
+                 ? line_pattern(n, cfg.k, 23 + cfg.k)
+                 : range_pattern(n, cfg.k, 23 + cfg.k);
+    volatile int64_t sink = 0;
+    double t_bs = time_best_of(reps, [&] { sink = sink + seq_bs_length(a); });
+    std::vector<double> times;
+    for (int t : threads) {
+      times.push_back(
+          run_measurement(argv[0], t, n, cfg.k, cfg.pattern, reps));
+    }
+    std::printf("%-18s", cfg.name);
+    for (double t : times) {
+      std::printf("  %-12.3f", times[0] > 0 && t > 0 ? times[0] / t : -1.0);
+    }
+    std::printf("  %-12.4f\n", t_bs);
+    std::printf("%-18s", "  (seconds)");
+    for (double t : times) std::printf("  %-12.4f", t);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nSpeedups are self-relative (T_1/T_P), as in Fig. 8; seq_bs is the "
+      "flat baseline the paper draws as dashed lines.\n");
+  return 0;
+}

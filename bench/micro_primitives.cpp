@@ -1,0 +1,90 @@
+// Micro-benchmarks for the fork-join runtime's sequence primitives (the
+// ParlayLib-substitute substrate): scan, pack, merge, sort, counting sort.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "parlis/parallel/primitives.hpp"
+#include "parlis/parallel/random.hpp"
+
+namespace {
+
+std::vector<int64_t> make_data(int64_t n, uint64_t seed) {
+  std::vector<int64_t> xs(n);
+  for (int64_t i = 0; i < n; i++) xs[i] = parlis::hash64(seed, i) % 1000000;
+  return xs;
+}
+
+void BM_Scan(benchmark::State& state) {
+  auto xs = make_data(state.range(0), 1);
+  for (auto _ : state) {
+    auto copy = xs;
+    benchmark::DoNotOptimize(parlis::scan_exclusive(copy));
+  }
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_Scan)->Arg(1 << 16)->Arg(1 << 21);
+
+void BM_Reduce(benchmark::State& state) {
+  auto xs = make_data(state.range(0), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parlis::reduce_sum(xs));
+  }
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_Reduce)->Arg(1 << 16)->Arg(1 << 21);
+
+void BM_Filter(benchmark::State& state) {
+  auto xs = make_data(state.range(0), 3);
+  for (auto _ : state) {
+    auto out = parlis::filter(xs, [](int64_t x) { return x % 3 == 0; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_Filter)->Arg(1 << 16)->Arg(1 << 21);
+
+void BM_Sort(benchmark::State& state) {
+  auto xs = make_data(state.range(0), 4);
+  for (auto _ : state) {
+    auto copy = xs;
+    parlis::sort_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * xs.size());
+}
+BENCHMARK(BM_Sort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Merge(benchmark::State& state) {
+  auto a = make_data(state.range(0), 5);
+  auto b = make_data(state.range(0), 6);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<int64_t> out(a.size() + b.size());
+  for (auto _ : state) {
+    parlis::merge_into(a.begin(), static_cast<int64_t>(a.size()), b.begin(),
+                       static_cast<int64_t>(b.size()), out.begin(),
+                       std::less<int64_t>{});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * out.size());
+}
+BENCHMARK(BM_Merge)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CountingSort(benchmark::State& state) {
+  int64_t n = state.range(0);
+  std::vector<int64_t> key(n);
+  for (int64_t i = 0; i < n; i++) key[i] = parlis::hash64(7, i) % 512;
+  for (auto _ : state) {
+    auto [order, offsets] =
+        parlis::counting_sort_index(n, 512, [&](int64_t i) { return key[i]; });
+    benchmark::DoNotOptimize(order.data());
+    benchmark::DoNotOptimize(offsets.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CountingSort)->Arg(1 << 16)->Arg(1 << 21);
+
+}  // namespace
+
+BENCHMARK_MAIN();

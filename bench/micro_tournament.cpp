@@ -1,0 +1,53 @@
+// Micro-benchmarks for the tournament tree of Alg. 1: construction and the
+// total frontier-extraction cost as a function of the LIS length k (the
+// O(n log k) total-work claim of Thm. 3.2).
+#include <benchmark/benchmark.h>
+
+#include "parlis/lis/tournament_tree.hpp"
+#include "parlis/util/generators.hpp"
+
+namespace {
+
+void BM_TournamentBuild(benchmark::State& state) {
+  auto a = parlis::range_pattern(state.range(0), 1000, 7);
+  for (auto _ : state) {
+    parlis::TournamentTree<int64_t> t(a, INT64_MAX);
+    benchmark::DoNotOptimize(t.min_value());
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_TournamentBuild)->Arg(1 << 16)->Arg(1 << 20);
+
+// Full extraction (all k rounds); items/sec shows the n log k behaviour:
+// throughput degrades only logarithmically as k grows 100x.
+void BM_TournamentExtractAllRounds(benchmark::State& state) {
+  auto a = parlis::line_pattern(1 << 18, state.range(0), 8);
+  for (auto _ : state) {
+    parlis::TournamentTree<int64_t> t(a, INT64_MAX);
+    int64_t extracted = 0;
+    while (!t.empty()) {
+      t.extract_frontier([&](int64_t) {});
+      extracted++;
+    }
+    benchmark::DoNotOptimize(extracted);
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_TournamentExtractAllRounds)->Arg(10)->Arg(1000)->Arg(100000);
+
+// Two-pass ordered collection (Appendix A) vs the single-pass extraction.
+void BM_TournamentExtractCollect(benchmark::State& state) {
+  auto a = parlis::line_pattern(1 << 18, state.range(0), 9);
+  for (auto _ : state) {
+    parlis::TournamentTree<int64_t> t(a, INT64_MAX);
+    int64_t total = 0;
+    while (!t.empty()) total += t.extract_frontier_collect().size();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_TournamentExtractCollect)->Arg(10)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Micro-benchmarks for the parallel vEB tree (Thm. 1.3): batch operations
+// vs repeated point operations, parallel Range vs the sequential Succ loop,
+// and point-op cost vs std::set (the log log U vs log n gap).
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <vector>
+
+#include "parlis/parallel/random.hpp"
+#include "parlis/veb/veb_tree.hpp"
+
+namespace {
+
+constexpr uint64_t kUniverse = uint64_t{1} << 24;
+
+std::vector<uint64_t> make_keys(int64_t m, uint64_t seed) {
+  std::vector<uint64_t> keys(m);
+  for (int64_t i = 0; i < m; i++) {
+    keys[i] = parlis::uniform(seed, i, kUniverse);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+void BM_VebBatchInsert(benchmark::State& state) {
+  auto keys = make_keys(state.range(0), 1);
+  for (auto _ : state) {
+    parlis::VebTree t(kUniverse);
+    t.batch_insert(keys);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_VebBatchInsert)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_VebPointInsertLoop(benchmark::State& state) {
+  auto keys = make_keys(state.range(0), 1);
+  for (auto _ : state) {
+    parlis::VebTree t(kUniverse);
+    for (uint64_t k : keys) t.insert(k);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_VebPointInsertLoop)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_VebBatchDelete(benchmark::State& state) {
+  auto keys = make_keys(state.range(0), 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    parlis::VebTree t(kUniverse);
+    t.batch_insert(keys);
+    state.ResumeTiming();
+    t.batch_delete(keys);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_VebBatchDelete)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_VebRange(benchmark::State& state) {
+  auto keys = make_keys(state.range(0), 3);
+  parlis::VebTree t(kUniverse);
+  t.batch_insert(keys);
+  for (auto _ : state) {
+    auto out = t.range(0, kUniverse - 1);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_VebRange)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_VebSuccLoop(benchmark::State& state) {
+  auto keys = make_keys(state.range(0), 3);
+  parlis::VebTree t(kUniverse);
+  t.batch_insert(keys);
+  for (auto _ : state) {
+    std::vector<uint64_t> out;
+    out.reserve(keys.size());
+    auto cur = t.min();
+    while (cur) {
+      out.push_back(*cur);
+      cur = t.succ_gt(*cur);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * keys.size());
+}
+BENCHMARK(BM_VebSuccLoop)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_VebPredQuery(benchmark::State& state) {
+  auto keys = make_keys(1 << 18, 4);
+  parlis::VebTree t(kUniverse);
+  t.batch_insert(keys);
+  uint64_t q = 0;
+  for (auto _ : state) {
+    q = parlis::hash64(q) % kUniverse;
+    benchmark::DoNotOptimize(t.pred_lt(q));
+  }
+}
+BENCHMARK(BM_VebPredQuery);
+
+void BM_StdSetPredQuery(benchmark::State& state) {
+  auto keys = make_keys(1 << 18, 4);
+  std::set<uint64_t> t(keys.begin(), keys.end());
+  uint64_t q = 0;
+  for (auto _ : state) {
+    q = parlis::hash64(q) % kUniverse;
+    auto it = t.lower_bound(q);
+    benchmark::DoNotOptimize(it != t.begin() ? *std::prev(it) : 0);
+  }
+}
+BENCHMARK(BM_StdSetPredQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

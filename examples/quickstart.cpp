@@ -1,0 +1,62 @@
+// Quickstart: the one-page tour of the public API — parallel LIS ranks,
+// LIS length, reconstructing an actual LIS, weighted LIS, and the parallel
+// vEB tree as an ordered integer set.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "parlis/lis/lis.hpp"
+#include "parlis/parallel/scheduler.hpp"
+#include "parlis/veb/veb_tree.hpp"
+#include "parlis/wlis/wlis.hpp"
+
+int main() {
+  std::printf("parlis quickstart (%d worker threads)\n\n", parlis::num_workers());
+
+  // --- Longest increasing subsequence (Alg. 1) --------------------------
+  // The running example from the paper (Fig. 2/3).
+  std::vector<int64_t> a = {52, 31, 45, 26, 61, 10, 39, 44};
+  parlis::LisResult lis = parlis::lis_ranks(a);
+  std::printf("input:");
+  for (int64_t x : a) std::printf(" %3lld", static_cast<long long>(x));
+  std::printf("\nranks:");
+  for (int32_t r : lis.rank) std::printf(" %3d", r);
+  std::printf("\nLIS length k = %d\n", lis.k);
+
+  // Reconstruct one actual LIS (Appendix A).
+  std::vector<int64_t> seq = parlis::lis_sequence(a);
+  std::printf("one LIS:");
+  for (int64_t i : seq) {
+    std::printf(" a[%lld]=%lld", static_cast<long long>(i),
+                static_cast<long long>(a[i]));
+  }
+  std::printf("\n\n");
+
+  // --- Weighted LIS (Alg. 2) --------------------------------------------
+  std::vector<int64_t> w = {1, 5, 2, 4, 1, 9, 2, 3};
+  parlis::WlisResult wl =
+      parlis::wlis(a, w, parlis::WlisStructure::kRangeTree);
+  std::printf("weighted dp:");
+  for (int64_t d : wl.dp) std::printf(" %lld", static_cast<long long>(d));
+  std::printf("\nbest weighted increasing subsequence sum = %lld\n\n",
+              static_cast<long long>(wl.best));
+
+  // --- Parallel vEB tree (Thm. 1.3) --------------------------------------
+  parlis::VebTree set(256);
+  set.batch_insert({2, 4, 8, 10, 13, 15, 23, 28, 61});  // Fig. 6's keys
+  std::printf("vEB: size=%lld min=%llu max=%llu pred_lt(13)=%llu\n",
+              static_cast<long long>(set.size()),
+              static_cast<unsigned long long>(*set.min()),
+              static_cast<unsigned long long>(*set.max()),
+              static_cast<unsigned long long>(*set.pred_lt(13)));
+  auto in_range = set.range(8, 28);
+  std::printf("keys in [8, 28]:");
+  for (uint64_t k : in_range) {
+    std::printf(" %llu", static_cast<unsigned long long>(k));
+  }
+  std::printf("\n");
+  set.batch_delete({4, 10, 28});
+  std::printf("after batch_delete{4,10,28}: size=%lld\n",
+              static_cast<long long>(set.size()));
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Parallel LIS (Alg. 1, Thm. 1.1) and LIS reconstruction (Appendix A).
+//
+// The phase-parallel algorithm: round r extracts from the tournament tree
+// every *prefix-min* object among the live objects; by Lemma 3.1 those are
+// exactly the objects of rank r (dp value r). Total cost O(n log k) work and
+// O(k log n) span for LIS length k.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "parlis/lis/tournament_tree.hpp"
+#include "parlis/parallel/parallel.hpp"
+
+namespace parlis {
+
+/// Result of the phase-parallel LIS pass.
+struct LisResult {
+  /// rank[i] = dp[i] = length of the LIS ending at A_i (1-based ranks).
+  std::vector<int32_t> rank;
+  /// k = LIS length = max rank (0 for empty input).
+  int32_t k = 0;
+};
+
+/// Result with the per-round frontiers materialized (needed by WLIS and by
+/// the reconstruction): frontier r (1-based) is
+/// frontier_flat[frontier_offset[r-1] .. frontier_offset[r]), sorted by
+/// index ascending.
+struct LisFrontiers {
+  std::vector<int32_t> rank;
+  int32_t k = 0;
+  std::vector<int64_t> frontier_flat;
+  std::vector<int64_t> frontier_offset;  // size k+1
+};
+
+/// Computes all dp values (Alg. 1). `inf` must exceed every input value
+/// under `less` ("increasing" means strictly increasing under `less`).
+template <typename T, typename Less = std::less<T>>
+LisResult lis_ranks(const std::vector<T>& a,
+                    T inf = std::numeric_limits<T>::max(),
+                    Less less = Less{}) {
+  LisResult res;
+  res.rank.assign(a.size(), 0);
+  if (a.empty()) return res;
+  TournamentTree<T, Less> tree(a, inf, less);
+  int32_t r = 0;
+  while (!tree.empty()) {
+    ++r;
+    tree.extract_frontier([&](int64_t i) { res.rank[i] = r; });
+  }
+  res.k = r;
+  return res;
+}
+
+/// Computes dp values and the per-round frontiers (two-pass extraction).
+template <typename T, typename Less = std::less<T>>
+LisFrontiers lis_frontiers(const std::vector<T>& a,
+                           T inf = std::numeric_limits<T>::max(),
+                           Less less = Less{}) {
+  LisFrontiers res;
+  res.rank.assign(a.size(), 0);
+  res.frontier_offset.push_back(0);
+  if (a.empty()) return res;
+  TournamentTree<T, Less> tree(a, inf, less);
+  int32_t r = 0;
+  while (!tree.empty()) {
+    ++r;
+    std::vector<int64_t> f = tree.extract_frontier_collect();
+    parallel_for(0, static_cast<int64_t>(f.size()),
+                 [&](int64_t j) { res.rank[f[j]] = r; });
+    res.frontier_flat.insert(res.frontier_flat.end(), f.begin(), f.end());
+    res.frontier_offset.push_back(
+        static_cast<int64_t>(res.frontier_flat.size()));
+  }
+  res.k = r;
+  return res;
+}
+
+/// LIS length only.
+template <typename T, typename Less = std::less<T>>
+int64_t lis_length(const std::vector<T>& a,
+                   T inf = std::numeric_limits<T>::max(), Less less = Less{}) {
+  return lis_ranks(a, inf, less).k;
+}
+
+/// Longest *non-decreasing* subsequence: equal values may chain. Runs the
+/// strict algorithm on (value, index) pairs ordered lexicographically, so a
+/// later duplicate compares greater than an earlier one.
+template <typename T>
+LisResult longest_nondecreasing_ranks(
+    const std::vector<T>& a, T inf = std::numeric_limits<T>::max()) {
+  std::vector<std::pair<T, int64_t>> pairs(a.size());
+  parallel_for(0, static_cast<int64_t>(a.size()),
+               [&](int64_t i) { pairs[i] = {a[i], i}; });
+  return lis_ranks(pairs,
+                   std::pair<T, int64_t>{inf, std::numeric_limits<int64_t>::max()});
+}
+
+template <typename T>
+int64_t longest_nondecreasing_length(
+    const std::vector<T>& a, T inf = std::numeric_limits<T>::max()) {
+  return longest_nondecreasing_ranks(a, inf).k;
+}
+
+/// Best decisions (Appendix A): d[i] is the index of A_i's predecessor in an
+/// LIS ending at A_i (-1 for rank-1 objects). By Lemma A.1 / A.2 this is the
+/// last object of the previous frontier with index < i.
+template <typename T>
+std::vector<int64_t> lis_decisions(const std::vector<T>& a,
+                                   const LisFrontiers& fr) {
+  (void)a;
+  std::vector<int64_t> d(fr.rank.size(), -1);
+  for (int32_t r = 2; r <= fr.k; r++) {
+    const int64_t* prev = fr.frontier_flat.data() + fr.frontier_offset[r - 2];
+    int64_t prev_n = fr.frontier_offset[r - 1] - fr.frontier_offset[r - 2];
+    const int64_t* cur = fr.frontier_flat.data() + fr.frontier_offset[r - 1];
+    int64_t cur_n = fr.frontier_offset[r] - fr.frontier_offset[r - 1];
+    parallel_for(0, cur_n, [&](int64_t j) {
+      // Last index of the previous frontier strictly before cur[j].
+      const int64_t* it = std::lower_bound(prev, prev + prev_n, cur[j]);
+      d[cur[j]] = *(it - 1);  // rank r-1 object before cur[j] always exists
+    });
+  }
+  return d;
+}
+
+/// Returns the indices of one longest increasing subsequence of `a`
+/// (ascending indices, strictly increasing values).
+template <typename T>
+std::vector<int64_t> lis_sequence(const std::vector<T>& a,
+                                  T inf = std::numeric_limits<T>::max()) {
+  LisFrontiers fr = lis_frontiers(a, inf);
+  if (fr.k == 0) return {};
+  std::vector<int64_t> d = lis_decisions(a, fr);
+  // Start from any object of the last frontier and follow decisions back.
+  std::vector<int64_t> seq(fr.k);
+  int64_t cur = fr.frontier_flat[fr.frontier_offset[fr.k - 1]];
+  for (int32_t r = fr.k; r >= 1; r--) {
+    seq[r - 1] = cur;
+    cur = d[cur];
+  }
+  return seq;
+}
+
+}  // namespace parlis

@@ -1,0 +1,77 @@
+// Sequential LIS baselines from the paper's evaluation (Sec. 6).
+//
+//  * seq_bs_ranks — "Seq-BS": the highly-optimized O(n log k) algorithm
+//    [Knuth 1973]: B[r] holds the smallest tail value of any increasing
+//    subsequence of length r; B is monotone, so each object binary-searches
+//    its rank and tightens one slot.
+//  * brute-force O(n^2) DP (tests only) for both LIS and WLIS.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace parlis {
+
+/// O(n log k) sequential ranks (dp values) via patience binary search.
+template <typename T>
+std::vector<int32_t> seq_bs_ranks(const std::vector<T>& a) {
+  std::vector<int32_t> rank(a.size());
+  std::vector<T> tails;  // tails[r-1]: smallest tail of an IS of length r
+  tails.reserve(1024);
+  for (size_t i = 0; i < a.size(); i++) {
+    // First r with tails[r] >= a[i]: a[i] extends an IS of length r.
+    auto it = std::lower_bound(tails.begin(), tails.end(), a[i]);
+    rank[i] = static_cast<int32_t>(it - tails.begin()) + 1;
+    if (it == tails.end()) {
+      tails.push_back(a[i]);
+    } else if (a[i] < *it) {
+      *it = a[i];
+    }
+  }
+  return rank;
+}
+
+/// O(n log k) sequential LIS length.
+template <typename T>
+int64_t seq_bs_length(const std::vector<T>& a) {
+  std::vector<T> tails;
+  for (const T& x : a) {
+    auto it = std::lower_bound(tails.begin(), tails.end(), x);
+    if (it == tails.end()) {
+      tails.push_back(x);
+    } else if (x < *it) {
+      *it = x;
+    }
+  }
+  return static_cast<int64_t>(tails.size());
+}
+
+/// O(n^2) reference DP (Eq. 1). Testing oracle.
+template <typename T>
+std::vector<int32_t> brute_lis_ranks(const std::vector<T>& a) {
+  std::vector<int32_t> dp(a.size(), 1);
+  for (size_t i = 0; i < a.size(); i++) {
+    for (size_t j = 0; j < i; j++) {
+      if (a[j] < a[i]) dp[i] = std::max(dp[i], dp[j] + 1);
+    }
+  }
+  return dp;
+}
+
+/// O(n^2) reference weighted DP (Eq. 2). Testing oracle.
+template <typename T>
+std::vector<int64_t> brute_wlis_dp(const std::vector<T>& a,
+                                   const std::vector<int64_t>& w) {
+  std::vector<int64_t> dp(a.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    int64_t best = 0;
+    for (size_t j = 0; j < i; j++) {
+      if (a[j] < a[i]) best = std::max(best, dp[j]);
+    }
+    dp[i] = w[i] + best;
+  }
+  return dp;
+}
+
+}  // namespace parlis

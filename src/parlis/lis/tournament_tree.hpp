@@ -1,0 +1,182 @@
+// Parallel tournament tree (Sec. 3, Fig. 4 of the paper).
+//
+// An implicit complete binary min-tree over the input stored in an array
+// T[1..2L-1] (L = leaves rounded up to a power of two). Internal node i has
+// children 2i and 2i+1 and stores the minimum of its subtree. Supports:
+//
+//  * parallel construction: O(n) work, O(log n) span (Thm. 3.1),
+//  * extract_frontier: the PrefixMin traversal of Alg. 1 — finds every
+//    *prefix-min* leaf (<= all live leaves before it), reports it, and
+//    removes it (sets it to +inf), in O(m log(n/m)) work for m reported
+//    leaves,
+//  * extract_frontier_collect: the two-pass variant of Appendix A that also
+//    writes the frontier's leaf indices, in input order, into an array
+//    (pass 1 counts per-subtree "effective sizes" without modifying the
+//    tree; pass 2 places indices and removes the leaves).
+//
+// The element type T needs operator< and a user-supplied +inf sentinel.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <functional>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "parlis/parallel/parallel.hpp"
+
+namespace parlis {
+
+template <typename T, typename Less = std::less<T>>
+class TournamentTree {
+ public:
+  /// Builds the tree over `xs`; `inf` must compare greater than every input
+  /// under `less`.
+  TournamentTree(const std::vector<T>& xs, T inf, Less less = Less{})
+      : less_(less),
+        n_(static_cast<int64_t>(xs.size())),
+        leaves_(static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(
+            n_ > 0 ? n_ : 1)))),
+        inf_(inf),
+        t_(2 * leaves_) {
+    parallel_for(0, leaves_, [&](int64_t i) {
+      t_[leaves_ + i] = i < n_ ? xs[i] : inf_;
+    });
+    build(1);
+  }
+
+  /// True when every leaf has been removed.
+  bool empty() const { return !less_(t_[1], inf_); }
+
+  /// Minimum live leaf value (inf_ when empty).
+  const T& min_value() const { return t_[1]; }
+
+  int64_t size() const { return n_; }
+
+  /// Total tree nodes visited by all extractions so far (Thm. 3.2 charges
+  /// O(m_r log(n/m_r)) per round, O(n log k) in total — the property tests
+  /// assert this bound empirically).
+  uint64_t nodes_visited() const {
+    return visits_.load(std::memory_order_relaxed);
+  }
+
+  /// Alg. 1 ProcessFrontier: visits every prefix-min leaf, calls
+  /// visit(leaf_index) for each, and removes them. Leaves are visited in
+  /// parallel; `visit` must be safe to call concurrently for distinct
+  /// indices.
+  template <typename Visit>
+  void extract_frontier(const Visit& visit) {
+    if (empty()) return;
+    prefix_min_extract(1, inf_, visit);
+  }
+
+  /// Appendix A two-pass variant: returns the frontier's leaf indices sorted
+  /// by index (ascending), and removes those leaves.
+  std::vector<int64_t> extract_frontier_collect() {
+    if (empty()) return {};
+    if (count_.empty()) count_.assign(2 * leaves_, 0);  // lazy scratch
+    int64_t m = count_pass(1, inf_);
+    std::vector<int64_t> out(m);
+    place_pass(1, inf_, out.data());
+    return out;
+  }
+
+ private:
+  // Recomputes internal nodes below node i (parallel).
+  void build(int64_t i) {
+    if (i >= leaves_) return;
+    if (leaves_ / largest_pow2_le(i) <= 2048) {  // small subtree: sequential
+      build_seq(i);
+      return;
+    }
+    par_do([&] { build(2 * i); }, [&] { build(2 * i + 1); });
+    t_[i] = less_(t_[2 * i + 1], t_[2 * i]) ? t_[2 * i + 1] : t_[2 * i];
+  }
+
+  void build_seq(int64_t i) {
+    if (i >= leaves_) return;
+    build_seq(2 * i);
+    build_seq(2 * i + 1);
+    t_[i] = less_(t_[2 * i + 1], t_[2 * i]) ? t_[2 * i + 1] : t_[2 * i];
+  }
+
+  static int64_t largest_pow2_le(int64_t i) {
+    return int64_t{1} << (63 - std::countl_zero(static_cast<uint64_t>(i)));
+  }
+
+  // Single-pass PrefixMin (Alg. 1 lines 12-21): report & remove.
+  template <typename Visit>
+  void prefix_min_extract(int64_t i, const T& lmin, const Visit& visit) {
+    visits_.fetch_add(1, std::memory_order_relaxed);
+    // Skip if something smaller lives before this subtree, or if the
+    // subtree is exhausted (all removed leaves are inf_).
+    if (less_(lmin, t_[i]) || !less_(t_[i], inf_)) return;
+    if (i >= leaves_) {
+      visit(i - leaves_);
+      t_[i] = inf_;
+      return;
+    }
+    T left_min = t_[2 * i];  // read before the left recursion mutates it
+    par_do([&] { prefix_min_extract(2 * i, lmin, visit); },
+           [&] {
+             const T& rmin = less_(left_min, lmin) ? left_min : lmin;
+             prefix_min_extract(2 * i + 1, rmin, visit);
+           });
+    t_[i] = less_(t_[2 * i + 1], t_[2 * i]) ? t_[2 * i + 1] : t_[2 * i];
+  }
+
+  // Pass 1 (Appendix A): count prefix-min leaves per visited subtree without
+  // modifying values. Records counts in count_.
+  int64_t count_pass(int64_t i, const T& lmin) {
+    visits_.fetch_add(1, std::memory_order_relaxed);
+    if (less_(lmin, t_[i]) || !less_(t_[i], inf_)) {
+      count_[i] = 0;
+      return 0;
+    }
+    if (i >= leaves_) {
+      count_[i] = 1;
+      return 1;
+    }
+    int64_t cl = 0, cr = 0;
+    T left_min = t_[2 * i];
+    par_do([&] { cl = count_pass(2 * i, lmin); },
+           [&] {
+             const T& rmin = less_(left_min, lmin) ? left_min : lmin;
+             cr = count_pass(2 * i + 1, rmin);
+           });
+    count_[i] = cl + cr;
+    return count_[i];
+  }
+
+  // Pass 2: re-traverses the same structure, placing leaf indices at offsets
+  // derived from count_ and removing the leaves.
+  void place_pass(int64_t i, const T& lmin, int64_t* out) {
+    visits_.fetch_add(1, std::memory_order_relaxed);
+    if (less_(lmin, t_[i]) || !less_(t_[i], inf_)) return;
+    if (i >= leaves_) {
+      *out = i - leaves_;
+      t_[i] = inf_;
+      return;
+    }
+    T left_min = t_[2 * i];
+    // count_[2i] is 0 when pass 1 skipped the left child, so no branch needed.
+    int64_t skip = count_[2 * i];
+    par_do([&] { place_pass(2 * i, lmin, out); },
+           [&] {
+             const T& rmin = less_(left_min, lmin) ? left_min : lmin;
+             place_pass(2 * i + 1, rmin, out + skip);
+           });
+    t_[i] = less_(t_[2 * i + 1], t_[2 * i]) ? t_[2 * i + 1] : t_[2 * i];
+  }
+
+  Less less_;
+  std::atomic<uint64_t> visits_{0};
+  int64_t n_;
+  int64_t leaves_;
+  T inf_;
+  std::vector<T> t_;        // implicit tree, 1-indexed
+  std::vector<int64_t> count_;  // per-node frontier counts (pass 1 scratch)
+};
+
+}  // namespace parlis

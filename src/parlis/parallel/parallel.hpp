@@ -1,0 +1,44 @@
+// parallel_for and small fork-join helpers built on the scheduler.
+#pragma once
+
+#include <cstdint>
+
+#include "parlis/parallel/scheduler.hpp"
+
+namespace parlis {
+
+namespace internal {
+
+template <typename F>
+void parallel_for_rec(int64_t lo, int64_t hi, int64_t grain, const F& f) {
+  if (hi - lo <= grain) {
+    for (int64_t i = lo; i < hi; i++) f(i);
+    return;
+  }
+  int64_t mid = lo + (hi - lo) / 2;
+  par_do([&] { parallel_for_rec(lo, mid, grain, f); },
+         [&] { parallel_for_rec(mid, hi, grain, f); });
+}
+
+}  // namespace internal
+
+/// Applies f(i) for every i in [lo, hi) in parallel. `grain` is the largest
+/// chunk executed sequentially; 0 picks a default aimed at ~8 chunks per
+/// worker.
+template <typename F>
+void parallel_for(int64_t lo, int64_t hi, const F& f, int64_t grain = 0) {
+  if (hi <= lo) return;
+  int64_t n = hi - lo;
+  if (grain <= 0) {
+    int64_t pieces = static_cast<int64_t>(num_workers()) * 8;
+    grain = (n + pieces - 1) / pieces;
+    if (grain < 1) grain = 1;
+  }
+  if (n <= grain || sequential_mode() || num_workers() == 1) {
+    for (int64_t i = lo; i < hi; i++) f(i);
+    return;
+  }
+  internal::parallel_for_rec(lo, hi, grain, f);
+}
+
+}  // namespace parlis

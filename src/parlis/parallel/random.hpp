@@ -1,0 +1,28 @@
+// Deterministic splittable pseudo-randomness (splitmix64-style hashing),
+// usable from parallel loops: hash64(seed, i) is an independent draw per
+// index with no shared state.
+#pragma once
+
+#include <cstdint>
+
+namespace parlis {
+
+/// Strong 64-bit mix (splitmix64 finalizer).
+inline uint64_t hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Independent draw for (seed, index).
+inline uint64_t hash64(uint64_t seed, uint64_t i) {
+  return hash64(seed * 0x9e3779b97f4a7c15ULL + i + 1);
+}
+
+/// Uniform draw in [0, bound) for (seed, index); bound > 0.
+inline uint64_t uniform(uint64_t seed, uint64_t i, uint64_t bound) {
+  return hash64(seed, i) % bound;
+}
+
+}  // namespace parlis

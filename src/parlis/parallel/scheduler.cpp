@@ -1,0 +1,186 @@
+#include "parlis/parallel/scheduler.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parlis {
+namespace internal {
+namespace {
+
+thread_local int tl_worker_id = -1;
+int g_requested_workers = 0;  // set_num_workers target, 0 = default
+bool g_pool_created = false;
+
+class Pool {
+ public:
+  static Pool& get() {
+    static Pool pool;
+    return pool;
+  }
+
+  int num_workers() const { return static_cast<int>(deques_.size()); }
+
+  void push(RawTask t) {
+    int id = tl_worker_id >= 0 ? tl_worker_id : 0;
+    {
+      std::lock_guard<std::mutex> lk(deques_[id].mu);
+      deques_[id].q.push_back(t);
+    }
+    if (sleepers_.load(std::memory_order_relaxed) > 0) {
+      std::lock_guard<std::mutex> lk(sleep_mu_);
+      sleep_cv_.notify_one();
+    }
+  }
+
+  bool pop_if(void* arg) {
+    int id = tl_worker_id >= 0 ? tl_worker_id : 0;
+    std::lock_guard<std::mutex> lk(deques_[id].mu);
+    auto& q = deques_[id].q;
+    if (!q.empty() && q.back().arg == arg) {
+      q.pop_back();
+      return true;
+    }
+    return false;
+  }
+
+  // Steals one task (top of some deque, own deque's bottom included as a
+  // fallback) and runs it. Returns false if nothing was found.
+  bool try_run_one() {
+    int id = tl_worker_id >= 0 ? tl_worker_id : 0;
+    int p = num_workers();
+    RawTask t;
+    // Own deque first (bottom, LIFO): nested joins prefer their own work.
+    {
+      std::lock_guard<std::mutex> lk(deques_[id].mu);
+      if (!deques_[id].q.empty()) {
+        t = deques_[id].q.back();
+        deques_[id].q.pop_back();
+        run(t);
+        return true;
+      }
+    }
+    for (int i = 1; i < p; i++) {
+      int v = (id + i) % p;
+      std::lock_guard<std::mutex> lk(deques_[v].mu);
+      if (!deques_[v].q.empty()) {
+        t = deques_[v].q.front();  // steal from the top (FIFO)
+        deques_[v].q.pop_front();
+        run(t);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void wait(std::atomic<uint32_t>& pending) {
+    while (pending.load(std::memory_order_acquire) != 0) {
+      if (!try_run_one()) std::this_thread::yield();
+    }
+  }
+
+ private:
+  struct Deque {
+    std::mutex mu;
+    std::deque<RawTask> q;
+  };
+
+  Pool() {
+    int p = g_requested_workers;
+    if (p <= 0) {
+      if (const char* env = std::getenv("PARLIS_NUM_THREADS")) p = std::atoi(env);
+    }
+    if (p <= 0) p = static_cast<int>(std::thread::hardware_concurrency());
+    if (p <= 0) p = 1;
+    deques_ = std::vector<Deque>(p);
+    tl_worker_id = 0;  // the creating thread is worker 0
+    for (int i = 1; i < p; i++) {
+      threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~Pool() {
+    stop_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(sleep_mu_);
+      sleep_cv_.notify_all();
+    }
+    for (auto& t : threads_) t.join();
+  }
+
+  static void run(const RawTask& t) {
+    t.fn(t.arg);
+    t.pending->fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  void worker_loop(int id) {
+    tl_worker_id = id;
+    int idle_spins = 0;
+    while (!stop_.load(std::memory_order_acquire)) {
+      if (try_run_one()) {
+        idle_spins = 0;
+        continue;
+      }
+      if (++idle_spins < 64) {
+        std::this_thread::yield();
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(sleep_mu_);
+      sleepers_.fetch_add(1, std::memory_order_relaxed);
+      sleep_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      idle_spins = 0;
+    }
+  }
+
+  std::vector<Deque> deques_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<int> sleepers_{0};
+};
+
+Pool& pool() {
+  g_pool_created = true;
+  return Pool::get();
+}
+
+}  // namespace
+
+void pool_push(RawTask t) { pool().push(t); }
+bool pool_pop_if(void* arg) { return pool().pop_if(arg); }
+void pool_wait(std::atomic<uint32_t>& pending) { pool().wait(pending); }
+bool pool_started() { return g_pool_created; }
+
+}  // namespace internal
+
+int num_workers() { return internal::pool().num_workers(); }
+
+bool set_num_workers(int n) {
+  if (internal::pool_started()) return false;
+  internal::g_requested_workers = n;
+  return true;
+}
+
+int worker_id() {
+  return internal::tl_worker_id >= 0 ? internal::tl_worker_id : 0;
+}
+
+namespace {
+std::atomic<bool> g_sequential_mode{false};
+}  // namespace
+
+bool set_sequential_mode(bool on) {
+  return g_sequential_mode.exchange(on, std::memory_order_relaxed);
+}
+
+bool sequential_mode() {
+  return g_sequential_mode.load(std::memory_order_relaxed);
+}
+
+}  // namespace parlis

@@ -1,0 +1,91 @@
+// Work-stealing fork-join scheduler.
+//
+// This is the substrate that plays the role ParlayLib plays in the paper: a
+// binary fork-join runtime on which `par_do` / `parallel_for` and all the
+// parallel primitives are built. The design is the classic help-first
+// work-stealing scheme:
+//
+//   * every worker owns a deque of tasks; `fork` pushes to the bottom,
+//   * the owner pops from the bottom (LIFO), thieves steal from the top,
+//   * a joining thread that finds its child stolen helps by stealing other
+//     tasks until the child completes, so joins never block a core.
+//
+// The pool is created lazily on first use. The number of workers defaults to
+// std::thread::hardware_concurrency() and can be overridden either with the
+// PARLIS_NUM_THREADS environment variable or programmatically with
+// set_num_workers() *before* first use (tests use 4 to exercise concurrency
+// even on single-core machines).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace parlis {
+
+/// Returns the number of workers in the pool (>= 1). Initializes the pool on
+/// first call.
+int num_workers();
+
+/// Sets the worker count for the pool. Must be called before the pool is
+/// first used (i.e., before any par_do/parallel_for/num_workers call);
+/// otherwise it has no effect and returns false.
+bool set_num_workers(int n);
+
+/// Returns the id of the calling worker in [0, num_workers()), or 0 for
+/// threads outside the pool (the main thread is worker 0).
+int worker_id();
+
+/// When true, par_do/parallel_for run their bodies inline on the calling
+/// thread — used to measure the one-core ("Ours (seq)") series of the
+/// paper's figures without restarting the pool. Returns the previous value.
+bool set_sequential_mode(bool on);
+bool sequential_mode();
+
+namespace internal {
+
+struct RawTask {
+  void (*fn)(void*) = nullptr;
+  void* arg = nullptr;
+  std::atomic<uint32_t>* pending = nullptr;  // decremented after fn runs
+};
+
+// Pool interface used by par_do below. All functions are thread-safe.
+void pool_push(RawTask t);
+// Pops the bottom task of the calling worker's deque if it matches `arg`.
+bool pool_pop_if(void* arg);
+// Runs stolen tasks until *pending drops to zero.
+void pool_wait(std::atomic<uint32_t>& pending);
+// True once the pool has been started (after first use).
+bool pool_started();
+
+}  // namespace internal
+
+/// Runs `left()` and `right()` potentially in parallel and returns when both
+/// are complete. This is the binary `fork` of the work-span model.
+template <typename Left, typename Right>
+void par_do(Left&& left, Right&& right) {
+  if (sequential_mode() || num_workers() == 1) {
+    left();
+    right();
+    return;
+  }
+  std::atomic<uint32_t> pending{1};
+  using R = std::remove_reference_t<Right>;
+  struct Pack {
+    R* f;
+  } pack{&right};
+  internal::RawTask t;
+  t.fn = [](void* a) { (*static_cast<Pack*>(a)->f)(); };
+  t.arg = &pack;
+  t.pending = &pending;
+  internal::pool_push(t);
+  left();
+  if (internal::pool_pop_if(&pack)) {
+    right();  // not stolen; run inline
+  } else {
+    internal::pool_wait(pending);  // stolen; help until it finishes
+  }
+}
+
+}  // namespace parlis

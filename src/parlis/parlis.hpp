@@ -1,0 +1,20 @@
+// Umbrella header: the full public API of the parlis library.
+#pragma once
+
+#include "parlis/parallel/parallel.hpp"     // par_do, parallel_for
+#include "parlis/parallel/primitives.hpp"   // reduce/scan/filter/merge/sort
+#include "parlis/parallel/random.hpp"       // hash64, uniform
+#include "parlis/parallel/scheduler.hpp"    // num_workers, set_num_workers
+#include "parlis/lis/lis.hpp"               // lis_ranks/lis_sequence (Alg. 1)
+#include "parlis/lis/seq_lis.hpp"           // Seq-BS baseline
+#include "parlis/lis/tournament_tree.hpp"   // TournamentTree
+#include "parlis/veb/veb_tree.hpp"          // parallel vEB tree (Thm. 1.3)
+#include "parlis/veb/mono_veb.hpp"          // Mono-vEB staircase
+#include "parlis/veb/compact_veb.hpp"       // O(n)-space hashed-cluster vEB
+#include "parlis/wlis/wlis.hpp"             // weighted LIS (Alg. 2)
+#include "parlis/wlis/range_tree.hpp"       // dominant-max, Sec. 4.1
+#include "parlis/wlis/range_veb.hpp"        // dominant-max, Sec. 4.2
+#include "parlis/wlis/seq_avl.hpp"          // Seq-AVL baseline
+#include "parlis/swgs/swgs.hpp"             // SWGS baseline
+#include "parlis/util/generators.hpp"       // paper input generators
+#include "parlis/util/timer.hpp"

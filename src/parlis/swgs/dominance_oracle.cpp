@@ -1,0 +1,209 @@
+#include "parlis/swgs/dominance_oracle.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/primitives.hpp"
+
+namespace parlis {
+
+DominanceOracle::DominanceOracle(const std::vector<int64_t>& a)
+    : n_(static_cast<int64_t>(a.size())), a_(a) {
+  if (n_ == 0) return;
+  int64_t width =
+      static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(n_)));
+  std::vector<Level> rev;
+  {
+    Level leaf;
+    leaf.width = 1;
+    leaf.values = a;
+    leaf.idx.resize(n_);
+    parallel_for(0, n_,
+                 [&](int64_t i) { leaf.idx[i] = static_cast<int32_t>(i); });
+    rev.push_back(std::move(leaf));
+  }
+  while (rev.back().width < width) {
+    const Level& prev = rev.back();
+    Level next;
+    next.width = prev.width * 2;
+    next.values.resize(n_);
+    next.idx.resize(n_);
+    int64_t nblocks = (n_ + next.width - 1) / next.width;
+    parallel_for(0, nblocks, [&](int64_t blk) {
+      int64_t lo = blk * next.width;
+      int64_t mid = std::min(n_, lo + prev.width);
+      int64_t hi = std::min(n_, lo + next.width);
+      // Merge (value, idx) pairs; materialize via index merge.
+      int64_t i = lo, j = mid, o = lo;
+      auto less = [&](int64_t x, int64_t y) {
+        return prev.values[x] != prev.values[y]
+                   ? prev.values[x] < prev.values[y]
+                   : prev.idx[x] < prev.idx[y];
+      };
+      while (i < mid && j < hi) {
+        int64_t src = less(i, j) ? i++ : j++;
+        next.values[o] = prev.values[src];
+        next.idx[o++] = prev.idx[src];
+      }
+      while (i < mid) {
+        next.values[o] = prev.values[i];
+        next.idx[o++] = prev.idx[i++];
+      }
+      while (j < hi) {
+        next.values[o] = prev.values[j];
+        next.idx[o++] = prev.idx[j++];
+      }
+    });
+    rev.push_back(std::move(next));
+  }
+  for (Level& lev : rev) {
+    lev.alive = std::make_unique<std::atomic<int32_t>[]>(n_);
+    int64_t nblocks = (n_ + lev.width - 1) / lev.width;
+    parallel_for(0, n_, [&](int64_t i) {
+      lev.alive[i].store(0, std::memory_order_relaxed);
+    });
+    // Initialize the Fenwick trees to all-alive: slot i-1 (1-based i) holds
+    // the number of alive entries in (i - lowbit(i), i].
+    parallel_for(0, nblocks, [&](int64_t blk) {
+      int64_t lo = blk * lev.width;
+      int64_t len = std::min(n_, lo + lev.width) - lo;
+      std::atomic<int32_t>* f = lev.alive.get() + lo;
+      for (int64_t i = 1; i <= len; i++) {
+        f[i - 1].store(static_cast<int32_t>(i & (-i)),
+                       std::memory_order_relaxed);
+      }
+    });
+  }
+  levels_.assign(std::make_move_iterator(rev.rbegin()),
+                 std::make_move_iterator(rev.rend()));
+}
+
+int64_t DominanceOracle::fenwick_prefix(const std::atomic<int32_t>* f,
+                                        int64_t count) {
+  int64_t sum = 0;
+  for (int64_t i = count; i > 0; i -= i & (-i)) {
+    sum += f[i - 1].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void DominanceOracle::fenwick_add(std::atomic<int32_t>* f, int64_t len,
+                                  int64_t pos, int32_t delta) {
+  for (int64_t i = pos + 1; i <= len; i += i & (-i)) {
+    f[i - 1].fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+int64_t DominanceOracle::fenwick_select(const std::atomic<int32_t>* f,
+                                        int64_t len, int64_t r) {
+  int64_t pos = 0;
+  int64_t step = std::bit_floor(static_cast<uint64_t>(len));
+  while (step > 0) {
+    int64_t nxt = pos + step;
+    if (nxt <= len) {
+      int32_t c = f[nxt - 1].load(std::memory_order_relaxed);
+      if (c < r) {
+        r -= c;
+        pos = nxt;
+      }
+    }
+    step >>= 1;
+  }
+  return pos;  // 0-based position of the r-th alive entry
+}
+
+int64_t DominanceOracle::entry_pos(const Level& lev, int64_t block_start,
+                                   int64_t len, int64_t i) const {
+  const int64_t* vals = lev.values.data() + block_start;
+  const int32_t* idx = lev.idx.data() + block_start;
+  int64_t lo = 0, hi = len;
+  while (lo < hi) {
+    int64_t mid = (lo + hi) / 2;
+    bool before = vals[mid] != a_[i] ? vals[mid] < a_[i]
+                                     : idx[mid] < static_cast<int32_t>(i);
+    if (before) lo = mid + 1;
+    else hi = mid;
+  }
+  return lo;
+}
+
+int64_t DominanceOracle::count_dominators(int64_t i) const {
+  // Decompose [0, i) into canonical nodes; in each, count alive entries with
+  // value < a_[i] (strict, so ties never count).
+  int64_t total = 0;
+  int64_t node_start = 0;
+  for (size_t d = 0; d + 1 < levels_.size(); d++) {
+    const Level& child = levels_[d + 1];
+    int64_t mid = node_start + child.width;
+    if (i >= mid) {
+      int64_t len = std::min(mid, n_) - node_start;
+      if (len > 0) {
+        const int64_t* vals = child.values.data() + node_start;
+        int64_t cnt = std::lower_bound(vals, vals + len, a_[i]) - vals;
+        if (cnt > 0) {
+          total += fenwick_prefix(child.alive.get() + node_start, cnt);
+        }
+      }
+      if (i == mid) return total;
+      node_start = mid;
+    }
+  }
+  if (i > node_start && node_start < n_) {
+    const Level& leaf = levels_.back();
+    if (leaf.values[node_start] < a_[i]) {
+      total += leaf.alive[node_start].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+int64_t DominanceOracle::kth_dominator(int64_t i, int64_t r) const {
+  int64_t node_start = 0;
+  for (size_t d = 0; d + 1 < levels_.size(); d++) {
+    const Level& child = levels_[d + 1];
+    int64_t mid = node_start + child.width;
+    if (i >= mid) {
+      int64_t len = std::min(mid, n_) - node_start;
+      if (len > 0) {
+        const int64_t* vals = child.values.data() + node_start;
+        int64_t cnt = std::lower_bound(vals, vals + len, a_[i]) - vals;
+        int64_t here =
+            cnt > 0 ? fenwick_prefix(child.alive.get() + node_start, cnt) : 0;
+        if (r <= here) {
+          int64_t pos =
+              fenwick_select(child.alive.get() + node_start, len, r);
+          return child.idx[node_start + pos];
+        }
+        r -= here;
+      }
+      if (i == mid) {  // prefix exhausted; skip the leaf fallback below
+        node_start = mid;
+        break;
+      }
+      node_start = mid;
+    }
+  }
+  if (i > node_start && node_start < n_) {
+    const Level& leaf = levels_.back();
+    if (leaf.values[node_start] < a_[i] &&
+        leaf.alive[node_start].load(std::memory_order_relaxed) > 0 && r == 1) {
+      return leaf.idx[node_start];
+    }
+  }
+  assert(false && "kth_dominator: r out of range");
+  return -1;
+}
+
+void DominanceOracle::erase(int64_t i) {
+  for (size_t d = 0; d < levels_.size(); d++) {
+    const Level& lev = levels_[d];
+    int64_t block = (i / lev.width) * lev.width;
+    int64_t len = std::min(block + lev.width, n_) - block;
+    int64_t pos = entry_pos(lev, block, len, i);
+    fenwick_add(lev.alive.get() + block, len, pos, -1);
+  }
+}
+
+}  // namespace parlis

@@ -1,0 +1,65 @@
+// Dominance oracle for the SWGS baseline (Shen et al. 2022 [64]).
+//
+// A merge-sort tree over the input *index* order: each segment-tree node
+// stores its objects sorted by (value, index), with a Fenwick tree of
+// "alive" counts over that sorted order. Supports, for an object i with
+// value A_i, over the alive set:
+//
+//   count(i)        — # alive j with j < i and A_j < A_i       O(log^2 n)
+//   kth(i, r)       — index of the r-th such j (1-based)       O(log^2 n)
+//   erase(j)        — mark j dead (atomic; phase-concurrent)   O(log^2 n)
+//
+// This is the range structure SWGS pays O(log^2 n) per probe for, giving
+// the O(n log^3 n)-whp total work of their wake-up scheme.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace parlis {
+
+class DominanceOracle {
+ public:
+  explicit DominanceOracle(const std::vector<int64_t>& a);
+
+  int64_t n() const { return n_; }
+
+  /// # alive j with j < i and a[j] < a[i].
+  int64_t count_dominators(int64_t i) const;
+
+  /// Index of the r-th (1-based, by value-then-index order per node walk)
+  /// alive dominator of i. Requires 1 <= r <= count_dominators(i).
+  int64_t kth_dominator(int64_t i, int64_t r) const;
+
+  /// Marks j dead. Safe to call concurrently for distinct j, but not
+  /// concurrently with count/kth (the SWGS rounds are phase-separated).
+  void erase(int64_t i);
+
+ private:
+  struct Level {
+    int64_t width;
+    std::vector<int64_t> values;  // per block: sorted values
+    std::vector<int32_t> idx;     // original index of each sorted entry
+    std::unique_ptr<std::atomic<int32_t>[]> alive;  // Fenwick per block
+  };
+
+  // Fenwick over [0, len): prefix sum of first `count` entries.
+  static int64_t fenwick_prefix(const std::atomic<int32_t>* f, int64_t count);
+  static void fenwick_add(std::atomic<int32_t>* f, int64_t len, int64_t pos,
+                          int32_t delta);
+  // Smallest position with cumulative alive >= r (standard Fenwick walk).
+  static int64_t fenwick_select(const std::atomic<int32_t>* f, int64_t len,
+                                int64_t r);
+
+  // Rank of (a_[i], i) within the block's sorted entries.
+  int64_t entry_pos(const Level& lev, int64_t block_start, int64_t len,
+                    int64_t i) const;
+
+  int64_t n_;
+  std::vector<int64_t> a_;
+  std::vector<Level> levels_;  // levels_[0] = root
+};
+
+}  // namespace parlis

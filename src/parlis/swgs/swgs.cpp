@@ -1,0 +1,125 @@
+#include "parlis/swgs/swgs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/primitives.hpp"
+#include "parlis/parallel/random.hpp"
+#include "parlis/swgs/dominance_oracle.hpp"
+#include "parlis/wlis/range_tree.hpp"
+
+namespace parlis {
+
+namespace {
+
+// One wake-up-scheme execution; reports each round's frontier (sorted by
+// index) through on_frontier(round, indices).
+template <typename OnFrontier>
+SwgsResult run_rounds(const std::vector<int64_t>& a, uint64_t seed,
+                      const OnFrontier& on_frontier) {
+  int64_t n = static_cast<int64_t>(a.size());
+  SwgsResult res;
+  res.rank.assign(n, 0);
+  if (n == 0) return res;
+  DominanceOracle oracle(a);
+  // subscribers[j]: sleeping objects whose certificate is j.
+  std::vector<std::vector<int32_t>> subscribers(n);
+  std::vector<int64_t> awake(n);
+  parallel_for(0, n, [&](int64_t i) { awake[i] = i; });
+  int32_t round = 0;
+  int64_t total_checks = 0;
+  while (!awake.empty()) {
+    round++;
+    int64_t m = static_cast<int64_t>(awake.size());
+    total_checks += m;
+    // Probe every awake object: ready (no alive dominator) -> frontier;
+    // otherwise sample a random alive dominator and subscribe to it.
+    std::vector<int64_t> cert(m, -1);
+    parallel_for(0, m, [&](int64_t t) {
+      int64_t i = awake[t];
+      int64_t c = oracle.count_dominators(i);
+      if (c > 0) {
+        int64_t r = 1 + static_cast<int64_t>(
+                            uniform(seed + round, static_cast<uint64_t>(i),
+                                    static_cast<uint64_t>(c)));
+        cert[t] = oracle.kth_dominator(i, r);
+      }
+    });
+    std::vector<int64_t> fidx =
+        pack_index(m, [&](int64_t t) { return cert[t] < 0; });
+    std::vector<int64_t> frontier(fidx.size());
+    parallel_for(0, static_cast<int64_t>(fidx.size()),
+                 [&](int64_t t) { frontier[t] = awake[fidx[t]]; });
+    // Record subscriptions (grouped sequentially; each object subscribes to
+    // exactly one certificate per probe).
+    for (int64_t t = 0; t < m; t++) {
+      if (cert[t] >= 0) {
+        subscribers[cert[t]].push_back(static_cast<int32_t>(awake[t]));
+      }
+    }
+    // Process the frontier.
+    parallel_for(0, static_cast<int64_t>(frontier.size()), [&](int64_t t) {
+      res.rank[frontier[t]] = round;
+      oracle.erase(frontier[t]);
+    });
+    on_frontier(round, frontier);
+    // Wake the subscribers of processed objects.
+    std::vector<int64_t> next;
+    for (int64_t f : frontier) {
+      for (int32_t s : subscribers[f]) next.push_back(s);
+      subscribers[f].clear();
+    }
+    sort_inplace(next);
+    awake = std::move(next);
+  }
+  res.k = round;
+  res.total_checks = total_checks;
+  return res;
+}
+
+}  // namespace
+
+SwgsResult swgs_lis_ranks(const std::vector<int64_t>& a, uint64_t seed) {
+  return run_rounds(a, seed, [](int32_t, const std::vector<int64_t>&) {});
+}
+
+SwgsWlisResult swgs_wlis(const std::vector<int64_t>& a,
+                         const std::vector<int64_t>& w, uint64_t seed) {
+  int64_t n = static_cast<int64_t>(a.size());
+  SwgsWlisResult res;
+  res.dp.assign(n, 0);
+  if (n == 0) return res;
+  // Value-order preprocessing for the dominant-max structure.
+  std::vector<int64_t> y_by_pos(n);
+  parallel_for(0, n, [&](int64_t i) { y_by_pos[i] = i; });
+  sort_inplace(y_by_pos, [&](int64_t i, int64_t j) {
+    return a[i] != a[j] ? a[i] < a[j] : i < j;
+  });
+  std::vector<int64_t> pos(n), qpos(n);
+  parallel_for(0, n, [&](int64_t p) { pos[y_by_pos[p]] = p; });
+  for (int64_t p = 0; p < n; p++) {  // run starts (sequential: simple)
+    qpos[y_by_pos[p]] =
+        (p > 0 && a[y_by_pos[p - 1]] == a[y_by_pos[p]]) ? qpos[y_by_pos[p - 1]]
+                                                        : p;
+  }
+  RangeTreeMax rs(y_by_pos);
+  SwgsResult rounds = run_rounds(
+      a, seed, [&](int32_t, const std::vector<int64_t>& frontier) {
+        parallel_for(0, static_cast<int64_t>(frontier.size()), [&](int64_t t) {
+          int64_t j = frontier[t];
+          int64_t q = rs.dominant_max(qpos[j], j);
+          res.dp[j] = w[j] + std::max<int64_t>(0, q);
+        });
+        parallel_for(0, static_cast<int64_t>(frontier.size()), [&](int64_t t) {
+          rs.update(pos[frontier[t]], res.dp[frontier[t]]);
+        });
+      });
+  res.k = rounds.k;
+  res.best = reduce_index<int64_t>(
+      0, n, 0, [&](int64_t i) { return res.dp[i]; },
+      [](int64_t x, int64_t y) { return std::max(x, y); });
+  return res;
+}
+
+}  // namespace parlis

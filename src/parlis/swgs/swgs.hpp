@@ -1,0 +1,41 @@
+// SWGS baseline: the parallel LIS/WLIS algorithm of Shen, Wan, Gu, Sun
+// ("Many Sequential Iterative Algorithms Can Be Parallel and (Nearly)
+// Work-efficient", SPAA 2022) that this paper compares against.
+//
+// Phase-parallel with a *wake-up scheme*: every object that is not yet
+// ready samples a uniformly random alive dominator (its "certificate") via
+// the dominance oracle and sleeps until that certificate is processed; an
+// object with zero alive dominators joins the current frontier. Each object
+// is re-checked O(log n) times whp, and every probe costs O(log^2 n) on the
+// oracle — the O(n log^3 n)-whp work / O(k log^2 n) span of the original.
+//
+// WLIS runs the same rounds and computes dp values with dominant-max
+// queries on the round's frontier (we reuse the range tree of Sec. 4.1 for
+// that part, which is charitable to the baseline — the wake-up scheme
+// dominates its cost).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parlis {
+
+struct SwgsResult {
+  std::vector<int32_t> rank;  // dp values of unweighted LIS
+  int32_t k = 0;
+  int64_t total_checks = 0;  // # readiness probes (work diagnostic)
+};
+
+/// Unweighted LIS ranks via the SWGS wake-up scheme.
+SwgsResult swgs_lis_ranks(const std::vector<int64_t>& a, uint64_t seed = 42);
+
+/// Weighted LIS via SWGS rounds + dominant-max queries.
+struct SwgsWlisResult {
+  std::vector<int64_t> dp;
+  int64_t best = 0;
+  int32_t k = 0;
+};
+SwgsWlisResult swgs_wlis(const std::vector<int64_t>& a,
+                         const std::vector<int64_t>& w, uint64_t seed = 42);
+
+}  // namespace parlis

@@ -1,0 +1,46 @@
+#include "parlis/util/generators.hpp"
+
+#include <algorithm>
+
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/random.hpp"
+
+namespace parlis {
+
+std::vector<int64_t> range_pattern(int64_t n, int64_t kprime, uint64_t seed) {
+  std::vector<int64_t> a(n);
+  parallel_for(0, n, [&](int64_t i) {
+    a[i] = 1 + static_cast<int64_t>(uniform(seed, i, kprime));
+  });
+  return a;
+}
+
+std::vector<int64_t> line_pattern(int64_t n, int64_t target_k, uint64_t seed) {
+  target_k = std::clamp<int64_t>(target_k, 1, n);
+  // With noise s_i uniform in [0, n), a rising trend t*i gives k ~
+  // 2*sqrt(t*n) (random windows of n/t stacked additively), which bottoms
+  // out at 2*sqrt(n) when t -> 0. For smaller targets the paper varies the
+  // slope the other way: a *falling* trend confines the LIS to one noise
+  // window of size w = n/|t|, so k ~ 2*sqrt(n/|t|).
+  long double nn = static_cast<long double>(n);
+  long double kk = static_cast<long double>(target_k);
+  long double t = target_k * target_k >= 4 * n
+                      ? kk * kk / (4.0L * nn)    // rising: k = 2*sqrt(t*n)
+                      : -4.0L * nn / (kk * kk);  // falling: k = 2*sqrt(n/|t|)
+  std::vector<int64_t> a(n);
+  parallel_for(0, n, [&](int64_t i) {
+    int64_t trend = static_cast<int64_t>(t * static_cast<long double>(i));
+    a[i] = trend + static_cast<int64_t>(uniform(seed, i, n));
+  });
+  return a;
+}
+
+std::vector<int64_t> uniform_weights(int64_t n, uint64_t seed) {
+  std::vector<int64_t> w(n);
+  parallel_for(0, n, [&](int64_t i) {
+    w[i] = 1 + static_cast<int64_t>(uniform(seed ^ 0xabcdef12345ULL, i, 1000));
+  });
+  return w;
+}
+
+}  // namespace parlis

@@ -1,0 +1,28 @@
+// Input generators from the paper's evaluation (Sec. 6).
+//
+//  * range pattern: A_i uniform in [1, kprime]; kprime upper-bounds the LIS
+//    length, and for kprime << 2*sqrt(n) the LIS length is ~kprime.
+//  * line pattern:  A_i = floor(t*i) + s_i with s_i uniform in [0, n); the
+//    slope t controls the LIS length, k ~ 2*sqrt(t*n) (random-permutation
+//    windows of size n/t stacked additively). line_pattern takes a target k
+//    and calibrates t = k^2 / (4n).
+//
+// Weights for WLIS are uniform in [1, 1000] as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parlis {
+
+/// A_i uniform in [1, kprime].
+std::vector<int64_t> range_pattern(int64_t n, int64_t kprime, uint64_t seed);
+
+/// A_i = floor(t*i) + uniform[0, n) with t calibrated so the LIS length is
+/// roughly target_k (clamped to [1, n]).
+std::vector<int64_t> line_pattern(int64_t n, int64_t target_k, uint64_t seed);
+
+/// Uniform weights in [1, 1000].
+std::vector<int64_t> uniform_weights(int64_t n, uint64_t seed);
+
+}  // namespace parlis

@@ -1,0 +1,263 @@
+#include "parlis/veb/compact_veb.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace parlis {
+
+namespace {
+constexpr uint64_t kNone = CompactVebTree::kNone;
+constexpr int kBaseBits = 6;
+}  // namespace
+
+// Same recursive structure as VebTree (min/max stored exclusively, 64-bit
+// bitmask base case) but clusters live in an unordered_map keyed by high
+// bits — only nonempty clusters exist, so space is O(#keys).
+struct CompactVebTree::Node {
+  uint8_t bits;
+  uint8_t lo_bits;
+  uint64_t min = kNone;
+  uint64_t max = kNone;
+  uint64_t mask = 0;  // base case
+  std::unique_ptr<Node> summary;
+  std::unordered_map<uint64_t, std::unique_ptr<Node>> clusters;
+
+  explicit Node(int b)
+      : bits(static_cast<uint8_t>(b)), lo_bits(static_cast<uint8_t>(b / 2)) {}
+
+  bool base() const { return bits <= kBaseBits; }
+  bool is_empty() const { return min == kNone; }
+  int hi_bits() const { return bits - lo_bits; }
+  uint64_t high(uint64_t x) const { return x >> lo_bits; }
+  uint64_t low(uint64_t x) const { return x & ((uint64_t{1} << lo_bits) - 1); }
+  uint64_t index(uint64_t h, uint64_t l) const { return (h << lo_bits) | l; }
+
+  Node* cluster(uint64_t h) const {
+    auto it = clusters.find(h);
+    return it == clusters.end() ? nullptr : it->second.get();
+  }
+  Node* ensure_cluster(uint64_t h) {
+    auto& slot = clusters[h];
+    if (!slot) slot = std::make_unique<Node>(lo_bits);
+    return slot.get();
+  }
+  Node* ensure_summary() {
+    if (!summary) summary = std::make_unique<Node>(hi_bits());
+    return summary.get();
+  }
+  bool summary_empty() const { return !summary || summary->is_empty(); }
+  void drop_cluster(uint64_t h) { clusters.erase(h); }  // reclaim space
+
+  void base_sync() {
+    if (mask == 0) {
+      min = max = kNone;
+    } else {
+      min = static_cast<uint64_t>(std::countr_zero(mask));
+      max = static_cast<uint64_t>(63 - std::countl_zero(mask));
+    }
+  }
+};
+
+using Node = CompactVebTree::Node;
+
+namespace {
+
+bool node_contains(const Node* v, uint64_t x) {
+  while (true) {
+    if (!v || v->is_empty()) return false;
+    if (v->base()) return (v->mask >> x) & 1;
+    if (x == v->min || x == v->max) return true;
+    const Node* c = v->cluster(v->high(x));
+    if (!c) return false;
+    uint64_t l = v->low(x);
+    v = c;
+    x = l;
+  }
+}
+
+uint64_t node_pred_lt(const Node* v, uint64_t x) {
+  if (!v || v->is_empty()) return kNone;
+  if (v->base()) {
+    uint64_t below = x >= 64 ? v->mask : (v->mask & ((uint64_t{1} << x) - 1));
+    if (below == 0) return kNone;
+    return static_cast<uint64_t>(63 - std::countl_zero(below));
+  }
+  if (x <= v->min) return kNone;
+  if (x > v->max) return v->max;
+  uint64_t h = v->high(x), l = v->low(x);
+  const Node* c = v->cluster(h);
+  if (c && !c->is_empty() && c->min < l) {
+    return v->index(h, node_pred_lt(c, l));
+  }
+  uint64_t hp = node_pred_lt(v->summary.get(), h);
+  if (hp != kNone) return v->index(hp, v->cluster(hp)->max);
+  return v->min;
+}
+
+uint64_t node_succ_gt(const Node* v, uint64_t x) {
+  if (!v || v->is_empty()) return kNone;
+  if (v->base()) {
+    uint64_t above = x >= 63 ? 0 : (v->mask & ~((uint64_t{2} << x) - 1));
+    if (above == 0) return kNone;
+    return static_cast<uint64_t>(std::countr_zero(above));
+  }
+  if (x >= v->max) return kNone;
+  if (x < v->min) return v->min;
+  uint64_t h = v->high(x), l = v->low(x);
+  const Node* c = v->cluster(h);
+  if (c && !c->is_empty() && c->max > l) {
+    return v->index(h, node_succ_gt(c, l));
+  }
+  uint64_t hs = node_succ_gt(v->summary.get(), h);
+  if (hs != kNone) return v->index(hs, v->cluster(hs)->min);
+  return v->max;
+}
+
+void node_insert(Node* v, uint64_t x) {
+  if (v->base()) {
+    v->mask |= uint64_t{1} << x;
+    v->base_sync();
+    return;
+  }
+  if (v->is_empty()) {
+    v->min = v->max = x;
+    return;
+  }
+  if (x == v->min || x == v->max) return;
+  if (v->min == v->max) {
+    if (x < v->min) v->min = x;
+    else v->max = x;
+    return;
+  }
+  if (x < v->min) std::swap(x, v->min);
+  else if (x > v->max) std::swap(x, v->max);
+  uint64_t h = v->high(x), l = v->low(x);
+  Node* c = v->ensure_cluster(h);
+  if (c->is_empty()) {
+    if (c->base()) {
+      c->mask = uint64_t{1} << l;
+      c->base_sync();
+    } else {
+      c->min = c->max = l;
+    }
+    node_insert(v->ensure_summary(), h);
+  } else {
+    node_insert(c, l);
+  }
+}
+
+void node_erase(Node* v, uint64_t x) {
+  if (!v || v->is_empty()) return;
+  if (v->base()) {
+    v->mask &= ~(uint64_t{1} << x);
+    v->base_sync();
+    return;
+  }
+  if (v->min == v->max) {
+    if (x == v->min) v->min = v->max = kNone;
+    return;
+  }
+  if (x == v->min) {
+    if (v->summary_empty()) {
+      v->min = v->max;
+      return;
+    }
+    uint64_t h0 = v->summary->min;
+    uint64_t l0 = v->cluster(h0)->min;
+    node_erase(v->cluster(h0), l0);
+    if (v->cluster(h0)->is_empty()) {
+      node_erase(v->summary.get(), h0);
+      v->drop_cluster(h0);
+    }
+    v->min = v->index(h0, l0);
+    return;
+  }
+  if (x == v->max) {
+    if (v->summary_empty()) {
+      v->max = v->min;
+      return;
+    }
+    uint64_t h1 = v->summary->max, l1 = v->cluster(h1)->max;
+    node_erase(v->cluster(h1), l1);
+    if (v->cluster(h1)->is_empty()) {
+      node_erase(v->summary.get(), h1);
+      v->drop_cluster(h1);
+    }
+    v->max = v->index(h1, l1);
+    return;
+  }
+  Node* c = v->cluster(v->high(x));
+  if (!c) return;
+  node_erase(c, v->low(x));
+  if (c->is_empty()) {
+    node_erase(v->summary.get(), v->high(x));
+    v->drop_cluster(v->high(x));
+  }
+}
+
+int64_t count_nodes(const Node* v) {
+  if (!v) return 0;
+  int64_t total = 1 + count_nodes(v->summary.get());
+  for (const auto& [h, c] : v->clusters) total += count_nodes(c.get());
+  return total;
+}
+
+}  // namespace
+
+CompactVebTree::CompactVebTree(uint64_t universe) : universe_(universe) {
+  assert(universe >= 1);
+  int bits = 1;
+  while (bits < 63 && (uint64_t{1} << bits) < universe) bits++;
+  root_ = std::make_unique<Node>(bits);
+}
+
+CompactVebTree::~CompactVebTree() = default;
+CompactVebTree::CompactVebTree(CompactVebTree&&) noexcept = default;
+CompactVebTree& CompactVebTree::operator=(CompactVebTree&&) noexcept = default;
+
+bool CompactVebTree::contains(uint64_t x) const {
+  return x < universe_ && node_contains(root_.get(), x);
+}
+
+std::optional<uint64_t> CompactVebTree::min() const {
+  if (root_->is_empty()) return std::nullopt;
+  return root_->min;
+}
+
+std::optional<uint64_t> CompactVebTree::max() const {
+  if (root_->is_empty()) return std::nullopt;
+  return root_->max;
+}
+
+std::optional<uint64_t> CompactVebTree::pred_lt(uint64_t x) const {
+  if (x >= universe_) x = universe_;
+  uint64_t r = x == 0 ? kNone : node_pred_lt(root_.get(), x);
+  if (r == kNone) return std::nullopt;
+  return r;
+}
+
+std::optional<uint64_t> CompactVebTree::succ_gt(uint64_t x) const {
+  if (x >= universe_) return std::nullopt;
+  uint64_t r = node_succ_gt(root_.get(), x);
+  if (r == kNone) return std::nullopt;
+  return r;
+}
+
+void CompactVebTree::insert(uint64_t x) {
+  assert(x < universe_);
+  if (contains(x)) return;
+  node_insert(root_.get(), x);
+  size_++;
+}
+
+void CompactVebTree::erase(uint64_t x) {
+  if (!contains(x)) return;
+  node_erase(root_.get(), x);
+  size_--;
+}
+
+int64_t CompactVebTree::allocated_nodes() const {
+  return count_nodes(root_.get());
+}
+
+}  // namespace parlis

@@ -1,0 +1,59 @@
+// Space-efficient vEB variant (Appendix E): clusters are kept in a
+// size-varying hash table instead of a 2^(w/2)-slot pointer array, so the
+// memory footprint is O(n) for n stored keys instead of O(U) — the
+// alternative the paper describes (and sets aside in favour of relabeling,
+// because hashing randomizes the bounds and complicates the parallel batch
+// algorithms; we implement it for the same point-op interface only).
+//
+// All point operations keep their O(log log U) *expected* cost; the
+// worst case is randomized by the hash table. Used as a drop-in for
+// workloads that need a sparse ordered integer set over a huge universe
+// (e.g. 2^48 identifiers) where the array-based VebTree would be wasteful.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+namespace parlis {
+
+class CompactVebTree {
+ public:
+  static constexpr uint64_t kNone = ~uint64_t{0};
+
+  /// Opaque recursive node type (public so the implementation's free
+  /// helpers can name it; not part of the API surface).
+  struct Node;
+
+  /// Empty set over [0, universe); universe >= 1 (up to 2^63).
+  explicit CompactVebTree(uint64_t universe);
+  ~CompactVebTree();
+  CompactVebTree(CompactVebTree&&) noexcept;
+  CompactVebTree& operator=(CompactVebTree&&) noexcept;
+  CompactVebTree(const CompactVebTree&) = delete;
+  CompactVebTree& operator=(const CompactVebTree&) = delete;
+
+  uint64_t universe() const { return universe_; }
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool contains(uint64_t x) const;
+  std::optional<uint64_t> min() const;
+  std::optional<uint64_t> max() const;
+  std::optional<uint64_t> pred_lt(uint64_t x) const;
+  std::optional<uint64_t> succ_gt(uint64_t x) const;
+
+  void insert(uint64_t x);
+  void erase(uint64_t x);
+
+  /// Number of allocated nodes (space diagnostic: O(size) by construction).
+  int64_t allocated_nodes() const;
+
+ private:
+  std::unique_ptr<Node> root_;
+  uint64_t universe_;
+  int64_t size_ = 0;
+};
+
+}  // namespace parlis

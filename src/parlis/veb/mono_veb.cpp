@@ -1,0 +1,130 @@
+#include "parlis/veb/mono_veb.hpp"
+
+#include <cassert>
+
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/primitives.hpp"
+
+namespace parlis {
+
+MonoVeb::MonoVeb(uint64_t universe) : keys_(universe), score_(universe, 0) {}
+
+MonoVeb::MaxBelow MonoVeb::max_below(uint64_t q) const {
+  auto p = keys_.pred_lt(q);
+  if (!p) return {};
+  return {true, score_[*p]};
+}
+
+uint64_t MonoVeb::find_index(int64_t limit, uint64_t s, uint64_t e) const {
+  // Gallop: chase Succ for up to log U steps (work-charging of Thm. D.1).
+  int log_u = 1;
+  while ((uint64_t{1} << log_u) < keys_.universe() && log_u < 63) log_u++;
+  uint64_t cur = s;
+  for (int step = 0; step < log_u; step++) {
+    if (cur == e) return cur;
+    auto nxt = keys_.succ_gt(cur);
+    if (!nxt || *nxt > e) return cur;
+    if (score_[*nxt] > limit) return cur;
+    cur = *nxt;
+  }
+  // Binary search over the key space. Invariants: lo, hi present,
+  // score_[lo] <= limit, and the answer lies in [lo, hi].
+  uint64_t lo = cur, hi = e;
+  while (lo < hi) {
+    if (score_[hi] <= limit) return hi;
+    uint64_t c = lo + (hi - lo + 1) / 2;  // > lo
+    uint64_t p = keys_.pred_leq(c).value();  // >= lo
+    if (p == lo) {
+      // no keys in (lo, c]; the next key up decides
+      auto nxt = keys_.succ_gt(c);  // exists: hi > c
+      if (*nxt > hi || score_[*nxt] > limit) return lo;
+      lo = *nxt;
+    } else if (score_[p] <= limit) {
+      lo = p;
+    } else {
+      hi = keys_.pred_lt(p).value();  // >= lo, < p
+    }
+  }
+  return lo;
+}
+
+std::vector<uint64_t> MonoVeb::covered_by(
+    const std::vector<Point>& batch) const {
+  int64_t m = static_cast<int64_t>(batch.size());
+  if (m == 0 || keys_.empty()) return {};
+  // Per batch point: the contiguous run of tree keys it covers, clipped at
+  // the next batch point (so runs are disjoint).
+  std::vector<std::vector<uint64_t>> runs(m);
+  parallel_for(0, m, [&](int64_t i) {
+    auto s = keys_.succ_gt(batch[i].key);
+    if (!s) return;
+    uint64_t e;
+    if (i + 1 < m) {
+      auto p = keys_.pred_lt(batch[i + 1].key);
+      if (!p || *p < *s) return;
+      e = *p;
+    } else {
+      e = keys_.max().value();
+    }
+    if (score_[*s] > batch[i].score) return;  // first candidate survives
+    uint64_t last = find_index(batch[i].score, *s, e);
+    runs[i] = keys_.range(*s, last);
+  });
+  // Concatenate (runs are in increasing key order).
+  std::vector<int64_t> offset(m);
+  int64_t total = scan_exclusive_index<int64_t>(
+      m, 0, [&](int64_t i) { return static_cast<int64_t>(runs[i].size()); },
+      [&](int64_t i, int64_t pre) { offset[i] = pre; }, std::plus<int64_t>{});
+  std::vector<uint64_t> out(total);
+  parallel_for(0, m, [&](int64_t i) {
+    std::copy(runs[i].begin(), runs[i].end(), out.begin() + offset[i]);
+  });
+  return out;
+}
+
+void MonoVeb::insert_staircase(std::vector<Point> batch) {
+  if (batch.empty()) return;
+  int64_t m = static_cast<int64_t>(batch.size());
+  // Step 2a: drop points covered inside the batch (keep strictly increasing
+  // scores along keys) — a prefix-max filter.
+  std::vector<int64_t> prefix(m);
+  scan_exclusive_index<int64_t>(
+      m, INT64_MIN, [&](int64_t i) { return batch[i].score; },
+      [&](int64_t i, int64_t pre) { prefix[i] = pre; },
+      [](int64_t a, int64_t b) { return a > b ? a : b; });
+  auto keep = pack_index(m, [&](int64_t i) {
+    if (batch[i].score <= prefix[i]) return false;
+    // Step 2b: also drop points covered by their predecessor in the tree.
+    MaxBelow mb = max_below(batch[i].key);
+    return !mb.found || mb.score < batch[i].score;
+  });
+  std::vector<Point> refined(keep.size());
+  parallel_for(0, static_cast<int64_t>(keep.size()),
+               [&](int64_t i) { refined[i] = batch[keep[i]]; });
+  if (refined.empty()) return;
+  // Step 3: delete the tree points the batch covers, insert the batch.
+  std::vector<uint64_t> doomed = covered_by(refined);
+  keys_.batch_delete(doomed);
+  std::vector<uint64_t> new_keys(refined.size());
+  parallel_for(0, static_cast<int64_t>(refined.size()), [&](int64_t i) {
+    new_keys[i] = refined[i].key;
+    score_[refined[i].key] = refined[i].score;
+  });
+  keys_.batch_insert(new_keys);
+}
+
+void MonoVeb::check_staircase() const {
+  auto m = keys_.min();
+  if (!m) return;
+  uint64_t cur = *m;
+  int64_t prev_score = score_[cur];
+  while (true) {
+    auto nxt = keys_.succ_gt(cur);
+    if (!nxt) break;
+    assert(score_[*nxt] > prev_score && "staircase scores must increase");
+    prev_score = score_[*nxt];
+    cur = *nxt;
+  }
+}
+
+}  // namespace parlis

@@ -1,0 +1,68 @@
+// Mono-vEB tree (Sec. 4.2) — the inner tree of the Range-vEB structure.
+//
+// Maintains the *staircase* of a set of (key, score) points: the maximal
+// subset in which no point covers another, where p1 covers p2 iff
+// key1 < key2 and score1 >= score2. Consequently scores are strictly
+// increasing in key, so the maximum score among keys < q is the score of
+// q's predecessor — which makes dominant-max a single Pred call.
+//
+// Keys live in a relabeled universe [0, universe) (Appendix E); scores are
+// the WLIS dp values. `insert_staircase` implements Steps 2-3 of Alg. 3:
+// refine the incoming batch against itself and the current staircase,
+// find the tree points the batch covers (CoveredBy, Alg. 7), batch-delete
+// them and batch-insert the refined batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parlis/veb/veb_tree.hpp"
+
+namespace parlis {
+
+class MonoVeb {
+ public:
+  struct Point {
+    uint64_t key;   // relabeled y-coordinate
+    int64_t score;  // dp value
+  };
+
+  explicit MonoVeb(uint64_t universe);
+
+  int64_t size() const { return keys_.size(); }
+  uint64_t universe() const { return keys_.universe(); }
+
+  /// Maximum score among points with key < q, or `none` (no such point).
+  /// O(log log U).
+  struct MaxBelow {
+    bool found = false;
+    int64_t score = 0;
+  };
+  MaxBelow max_below(uint64_t q) const;
+
+  /// Alg. 3 Update for one inner tree. `batch` must be sorted by key,
+  /// duplicate-free, and disjoint from the current key set.
+  void insert_staircase(std::vector<Point> batch);
+
+  /// Alg. 7: returns the keys of the tree points covered by `batch`
+  /// (sorted ascending). Exposed for testing; insert_staircase uses it.
+  std::vector<uint64_t> covered_by(const std::vector<Point>& batch) const;
+
+  /// Testing hook: asserts scores are strictly increasing along keys.
+  void check_staircase() const;
+
+  /// Score of an existing key (testing/queries).
+  int64_t score_of(uint64_t key) const { return score_[key]; }
+  const VebTree& keys() const { return keys_; }
+
+ private:
+  // FindIndex of Alg. 7: last key in [s, e] (both present) whose score is
+  // <= limit, assuming score_[s] <= limit. Gallops via Succ for log U steps,
+  // then binary-searches the key space.
+  uint64_t find_index(int64_t limit, uint64_t s, uint64_t e) const;
+
+  VebTree keys_;
+  std::vector<int64_t> score_;  // score_[key], valid while key in keys_
+};
+
+}  // namespace parlis

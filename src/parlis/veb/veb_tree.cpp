@@ -1,0 +1,684 @@
+#include "parlis/veb/veb_tree.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/primitives.hpp"
+
+namespace parlis {
+
+namespace {
+constexpr uint64_t kNone = VebTree::kNone;
+constexpr int kBaseBits = 6;  // subtrees with universe <= 2^6 are a bitmask
+}  // namespace
+
+// ---------------------------------------------------------------- layout ---
+
+struct VebTree::Node {
+  uint8_t bits;      // universe 2^bits
+  uint8_t lo_bits;   // floor(bits/2);  hi_bits = bits - lo_bits
+  uint8_t hi_bits;
+  uint64_t min = kNone;  // kNone <=> empty
+  uint64_t max = kNone;
+  uint64_t mask = 0;  // base case only (bits <= kBaseBits): all keys
+  std::unique_ptr<Node> summary;                  // universe 2^hi_bits
+  std::vector<std::unique_ptr<Node>> clusters;    // 2^hi_bits, lazy
+
+  explicit Node(int b)
+      : bits(static_cast<uint8_t>(b)),
+        lo_bits(static_cast<uint8_t>(b / 2)),
+        hi_bits(static_cast<uint8_t>(b - b / 2)) {}
+
+  bool base() const { return bits <= kBaseBits; }
+  bool is_empty() const { return min == kNone; }
+  uint64_t high(uint64_t x) const { return x >> lo_bits; }
+  uint64_t low(uint64_t x) const { return x & ((uint64_t{1} << lo_bits) - 1); }
+  uint64_t index(uint64_t h, uint64_t l) const { return (h << lo_bits) | l; }
+
+  Node* cluster(uint64_t h) const {
+    if (clusters.empty()) return nullptr;
+    return clusters[h].get();
+  }
+  Node* ensure_cluster(uint64_t h) {
+    if (clusters.empty()) clusters.resize(uint64_t{1} << hi_bits);
+    if (!clusters[h]) clusters[h] = std::make_unique<Node>(lo_bits);
+    return clusters[h].get();
+  }
+  Node* ensure_summary() {
+    if (!summary) summary = std::make_unique<Node>(hi_bits);
+    return summary.get();
+  }
+  bool summary_empty() const { return !summary || summary->is_empty(); }
+
+  void base_sync_minmax() {
+    if (mask == 0) {
+      min = max = kNone;
+    } else {
+      min = static_cast<uint64_t>(std::countr_zero(mask));
+      max = static_cast<uint64_t>(63 - std::countl_zero(mask));
+    }
+  }
+  void make_singleton(uint64_t x) {
+    if (base()) {
+      mask |= uint64_t{1} << x;
+      base_sync_minmax();
+    } else {
+      min = max = x;
+    }
+  }
+};
+
+using Node = VebTree::Node;
+
+// ----------------------------------------------------- sequential lookups ---
+
+namespace {
+
+bool node_contains(const Node* v, uint64_t x) {
+  while (true) {
+    if (!v || v->is_empty()) return false;
+    if (v->base()) return (v->mask >> x) & 1;
+    if (x == v->min || x == v->max) return true;
+    const Node* c = v->cluster(v->high(x));
+    if (!c) return false;
+    uint64_t l = v->low(x);
+    v = c;
+    x = l;
+  }
+}
+
+uint64_t node_pred_lt(const Node* v, uint64_t x) {
+  if (!v || v->is_empty()) return kNone;
+  if (v->base()) {
+    uint64_t below = x >= 64 ? v->mask
+                             : (v->mask & ((uint64_t{1} << x) - 1));
+    if (below == 0) return kNone;
+    return static_cast<uint64_t>(63 - std::countl_zero(below));
+  }
+  if (x <= v->min) return kNone;
+  if (x > v->max) return v->max;
+  // v->min < x <= v->max: look in the clusters, fall back to min.
+  uint64_t h = v->high(x), l = v->low(x);
+  const Node* c = v->cluster(h);
+  if (c && !c->is_empty() && c->min < l) {
+    return v->index(h, node_pred_lt(c, l));
+  }
+  uint64_t hp = node_pred_lt(v->summary.get(), h);
+  if (hp != kNone) return v->index(hp, v->cluster(hp)->max);
+  return v->min;
+}
+
+uint64_t node_succ_gt(const Node* v, uint64_t x) {
+  if (!v || v->is_empty()) return kNone;
+  if (v->base()) {
+    uint64_t above = x >= 63 ? 0 : (v->mask & ~((uint64_t{2} << x) - 1));
+    if (above == 0) return kNone;
+    return static_cast<uint64_t>(std::countr_zero(above));
+  }
+  if (x >= v->max) return kNone;
+  if (x < v->min) return v->min;
+  uint64_t h = v->high(x), l = v->low(x);
+  const Node* c = v->cluster(h);
+  if (c && !c->is_empty() && c->max > l) {
+    return v->index(h, node_succ_gt(c, l));
+  }
+  uint64_t hs = node_succ_gt(v->summary.get(), h);
+  if (hs != kNone) return v->index(hs, v->cluster(hs)->min);
+  return v->max;
+}
+
+uint64_t node_min(const Node* v) { return v ? v->min : kNone; }
+uint64_t node_max(const Node* v) { return (!v || v->is_empty()) ? kNone : v->max; }
+
+// -------------------------------------------------- sequential insert/erase
+
+void node_insert(Node* v, uint64_t x) {
+  if (v->base()) {
+    v->mask |= uint64_t{1} << x;
+    v->base_sync_minmax();
+    return;
+  }
+  if (v->is_empty()) {
+    v->min = v->max = x;
+    return;
+  }
+  if (x == v->min || x == v->max) return;
+  if (v->min == v->max) {  // one key; keep both slots at the node
+    if (x < v->min) {
+      v->min = x;
+    } else {
+      v->max = x;
+    }
+    return;
+  }
+  if (x < v->min) std::swap(x, v->min);
+  else if (x > v->max) std::swap(x, v->max);
+  uint64_t h = v->high(x), l = v->low(x);
+  Node* c = v->ensure_cluster(h);
+  if (c->is_empty()) {
+    c->make_singleton(l);                 // O(1)
+    node_insert(v->ensure_summary(), h);  // the only deep recursion
+  } else {
+    node_insert(c, l);  // summary already contains h
+  }
+}
+
+void node_erase(Node* v, uint64_t x);
+
+// Deletes key y from v's clusters (y is neither v->min nor v->max) and fixes
+// the summary. Precondition: y present in the clusters.
+void erase_from_clusters(Node* v, uint64_t y) {
+  uint64_t h = v->high(y);
+  Node* c = v->cluster(h);
+  node_erase(c, v->low(y));
+  if (c->is_empty()) node_erase(v->summary.get(), h);
+}
+
+void node_erase(Node* v, uint64_t x) {
+  if (!v || v->is_empty()) return;
+  if (v->base()) {
+    v->mask &= ~(uint64_t{1} << x);
+    v->base_sync_minmax();
+    return;
+  }
+  if (v->min == v->max) {
+    if (x == v->min) v->min = v->max = kNone;
+    return;
+  }
+  if (x == v->min) {
+    if (v->summary_empty()) {  // exactly {min, max}
+      v->min = v->max;
+      return;
+    }
+    uint64_t h0 = v->summary->min;
+    Node* c = v->cluster(h0);
+    uint64_t l0 = c->min;
+    node_erase(c, l0);  // O(1) when c is a singleton
+    if (c->is_empty()) node_erase(v->summary.get(), h0);
+    v->min = v->index(h0, l0);
+    return;
+  }
+  if (x == v->max) {
+    if (v->summary_empty()) {
+      v->max = v->min;
+      return;
+    }
+    uint64_t h1 = v->summary->max;
+    Node* c = v->cluster(h1);
+    uint64_t l1 = c->max;
+    node_erase(c, l1);
+    if (c->is_empty()) node_erase(v->summary.get(), h1);
+    v->max = v->index(h1, l1);
+    return;
+  }
+  // interior key
+  Node* c = v->cluster(v->high(x));
+  if (!c || v->summary_empty()) return;  // absent
+  node_erase(c, v->low(x));
+  if (c->is_empty()) node_erase(v->summary.get(), v->high(x));
+}
+
+// ------------------------------------------------------------ batch insert
+
+// Splits the sorted batch B (all with the same parent node) into per-high
+// groups [starts[g], starts[g+1]).
+std::vector<int64_t> group_starts(const Node* v,
+                                  const std::vector<uint64_t>& b) {
+  int64_t m = static_cast<int64_t>(b.size());
+  auto starts = pack_index(
+      m, [&](int64_t i) { return i == 0 || v->high(b[i]) != v->high(b[i - 1]); });
+  starts.push_back(m);
+  return starts;
+}
+
+// Alg. 4. B: sorted, duplicate-free, disjoint from v's keys.
+void batch_insert_rec(Node* v, std::vector<uint64_t> b) {
+  if (b.empty()) return;
+  if (v->base()) {
+    for (uint64_t x : b) v->mask |= uint64_t{1} << x;
+    v->base_sync_minmax();
+    return;
+  }
+  if (v->is_empty()) {
+    v->min = b.front();
+    v->max = b.back();  // == min when |b| == 1
+    b.erase(b.begin());
+    if (!b.empty()) b.pop_back();
+  } else {
+    // Lines 2-5: swap min/max with the batch boundaries, push the displaced
+    // keys back into the (sorted) batch.
+    uint64_t old_min = v->min, old_max = v->max;
+    uint64_t new_min = std::min(old_min, b.front());
+    uint64_t new_max = std::max(old_max, b.back());
+    if (b.front() == new_min) b.erase(b.begin());
+    if (!b.empty() && b.back() == new_max) b.pop_back();
+    auto push_back_key = [&](uint64_t x) {
+      b.insert(std::lower_bound(b.begin(), b.end(), x), x);
+    };
+    if (old_min != new_min && old_min != new_max) push_back_key(old_min);
+    if (old_max != new_max && old_max != new_min && old_max != old_min) {
+      push_back_key(old_max);
+    }
+    v->min = new_min;
+    v->max = new_max;
+  }
+  if (b.empty()) return;
+
+  // Group by high bits; initialize previously-empty clusters with their
+  // smallest key (O(1) each), collect the new high bits for the summary.
+  auto starts = group_starts(v, b);
+  int64_t ngroups = static_cast<int64_t>(starts.size()) - 1;
+  std::vector<uint64_t> new_high;
+  std::vector<std::vector<uint64_t>> lows(ngroups);
+  for (int64_t g = 0; g < ngroups; g++) {
+    int64_t s = starts[g], e = starts[g + 1];
+    uint64_t h = v->high(b[s]);
+    Node* c = v->ensure_cluster(h);
+    if (c->is_empty()) {
+      new_high.push_back(h);
+      c->make_singleton(v->low(b[s]));
+      s++;  // consumed
+    }
+    lows[g].reserve(e - s);
+    for (int64_t i = s; i < e; i++) lows[g].push_back(v->low(b[i]));
+  }
+  // Lines 13-16: summary and all clusters in parallel.
+  par_do(
+      [&] {
+        if (!new_high.empty()) {
+          batch_insert_rec(v->ensure_summary(), std::move(new_high));
+        }
+      },
+      [&] {
+        parallel_for(0, ngroups, [&](int64_t g) {
+          if (lows[g].empty()) return;
+          Node* c = v->cluster(v->high(b[starts[g]]));
+          batch_insert_rec(c, std::move(lows[g]));
+        });
+      });
+}
+
+// ------------------------------------------------------------ batch delete
+
+// Survivor mappings (Def. 5.1), aligned with the batch: p_map[i] is the
+// largest surviving key < b[i] (kNone = -inf), s_map[i] the smallest
+// surviving key > b[i] (kNone = +inf).
+
+// Lines 24-31: after key y was extracted from v's clusters, repoint any
+// survivor mapping that referenced y.
+void survivor_redirect(const Node* v, const std::vector<uint64_t>& b,
+                       uint64_t y, std::vector<uint64_t>& p_map,
+                       std::vector<uint64_t>& s_map) {
+  uint64_t p = node_pred_lt(v, y);
+  uint64_t s = node_succ_gt(v, y);
+  if (p != kNone) {
+    auto it = std::lower_bound(b.begin(), b.end(), p);
+    if (it != b.end() && *it == p) p = p_map[it - b.begin()];
+  }
+  if (s != kNone) {
+    auto it = std::lower_bound(b.begin(), b.end(), s);
+    if (it != b.end() && *it == s) s = s_map[it - b.begin()];
+  }
+  parallel_for(0, static_cast<int64_t>(b.size()), [&](int64_t i) {
+    if (p_map[i] == y) p_map[i] = p;
+    if (s_map[i] == y) s_map[i] = s;
+  });
+}
+
+void batch_delete_rec(Node* v, std::vector<uint64_t> b,
+                      std::vector<uint64_t> p_map,
+                      std::vector<uint64_t> s_map) {
+  if (b.empty() || !v || v->is_empty()) return;
+  if (v->base()) {
+    for (uint64_t x : b) v->mask &= ~(uint64_t{1} << x);
+    v->base_sync_minmax();
+    return;
+  }
+  if (v->min == v->max) {  // single key: the batch must be exactly {min}
+    v->min = v->max = kNone;
+    return;
+  }
+  uint64_t vmin = v->min, vmax = v->max;
+  // Restore v->min (lines 6-11).
+  if (vmin == b.front()) {
+    uint64_t y = s_map.front();
+    if (y != kNone && y != vmax) {
+      erase_from_clusters(v, y);
+      survivor_redirect(v, b, y, p_map, s_map);
+    }
+    v->min = y;  // may be vmax or kNone
+  }
+  // Restore v->max (line 12, symmetric).
+  if (vmax == b.back()) {
+    uint64_t y = p_map.back();
+    if (y != kNone && y != v->min) {
+      erase_from_clusters(v, y);
+      survivor_redirect(v, b, y, p_map, s_map);
+    }
+    v->max = y;
+  }
+  // Line 13: drop the handled boundary keys.
+  if (!b.empty() && b.front() == vmin) {
+    b.erase(b.begin());
+    p_map.erase(p_map.begin());
+    s_map.erase(s_map.begin());
+  }
+  if (!b.empty() && b.back() == vmax) {
+    b.pop_back();
+    p_map.pop_back();
+    s_map.pop_back();
+  }
+  // Line 14 (plus the all-deleted case).
+  if (v->min == kNone) {
+    v->max = kNone;
+  } else if (v->max == kNone) {
+    v->max = v->min;
+  }
+  if (b.empty()) return;
+
+  // Lines 15-23: recurse into clusters, then into the summary for the
+  // clusters that became empty.
+  auto starts = group_starts(v, b);
+  int64_t ngroups = static_cast<int64_t>(starts.size()) - 1;
+  std::vector<uint64_t> highs(ngroups);
+  parallel_for(0, ngroups, [&](int64_t g) { highs[g] = v->high(b[starts[g]]); });
+
+  // SurvivorLow (lines 32-40) + cluster recursion, all groups in parallel.
+  parallel_for(0, ngroups, [&](int64_t g) {
+    int64_t s = starts[g], e = starts[g + 1];
+    uint64_t h = highs[g];
+    std::vector<uint64_t> lb(e - s), lp(e - s), ls(e - s);
+    for (int64_t i = s; i < e; i++) {
+      lb[i - s] = v->low(b[i]);
+      uint64_t p = p_map[i];
+      lp[i - s] = (p != kNone && v->high(p) == h && p != v->min && p != v->max)
+                      ? v->low(p)
+                      : kNone;
+      uint64_t q = s_map[i];
+      ls[i - s] = (q != kNone && v->high(q) == h && q != v->min && q != v->max)
+                      ? v->low(q)
+                      : kNone;
+    }
+    batch_delete_rec(v->cluster(h), std::move(lb), std::move(lp),
+                     std::move(ls));
+  });
+
+  // SurvivorHigh (lines 41-47) over the clusters that emptied.
+  std::vector<uint64_t> hb, hp, hs;
+  for (int64_t g = 0; g < ngroups; g++) {
+    uint64_t h = highs[g];
+    Node* c = v->cluster(h);
+    if (c && !c->is_empty()) continue;
+    uint64_t p = p_map[starts[g]];          // survival pred of min deleted key
+    uint64_t s = s_map[starts[g + 1] - 1];  // survival succ of max deleted key
+    hb.push_back(h);
+    hp.push_back((p != kNone && p != v->min && p != v->max) ? v->high(p)
+                                                            : kNone);
+    hs.push_back((s != kNone && s != v->min && s != v->max) ? v->high(s)
+                                                            : kNone);
+  }
+  if (!hb.empty()) {
+    batch_delete_rec(v->summary.get(), std::move(hb), std::move(hp),
+                     std::move(hs));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- range (Alg. 6)
+
+namespace {
+
+struct RangeNode {
+  uint64_t value;
+  int64_t size = 1;
+  std::unique_ptr<RangeNode> left, right;
+};
+
+// Keys a <= b, both present in v. Builds the result tree by repeated
+// median-predecessor splitting; numeric range halves each level.
+std::unique_ptr<RangeNode> build_range_tree(const Node* v, uint64_t a,
+                                            uint64_t b) {
+  auto node = std::make_unique<RangeNode>();
+  if (a == b) {
+    node->value = a;
+    return node;
+  }
+  uint64_t c = a + (b - a + 1) / 2;  // midpoint, > a
+  uint64_t mid = node_contains(v, c) ? c : node_pred_lt(v, c);
+  // mid in [a, b]: >= a because a < c and a is present.
+  node->value = mid;
+  bool parallel = (b - a) > 4096;
+  auto do_left = [&] {
+    if (mid > a) {
+      uint64_t lb = node_pred_lt(v, mid);
+      node->left = build_range_tree(v, a, lb);
+    }
+  };
+  auto do_right = [&] {
+    if (mid < b) {
+      uint64_t rb = node_succ_gt(v, mid);
+      node->right = build_range_tree(v, rb, b);
+    }
+  };
+  if (parallel) {
+    par_do(do_left, do_right);
+  } else {
+    do_left();
+    do_right();
+  }
+  node->size = 1 + (node->left ? node->left->size : 0) +
+               (node->right ? node->right->size : 0);
+  return node;
+}
+
+void flatten_range_tree(const RangeNode* t, uint64_t* out) {
+  if (!t) return;
+  int64_t lsize = t->left ? t->left->size : 0;
+  out[lsize] = t->value;
+  if (t->size > 4096) {
+    par_do([&] { flatten_range_tree(t->left.get(), out); },
+           [&] { flatten_range_tree(t->right.get(), out + lsize + 1); });
+  } else {
+    flatten_range_tree(t->left.get(), out);
+    flatten_range_tree(t->right.get(), out + lsize + 1);
+  }
+}
+
+int64_t check_node(const Node* v, uint64_t universe);
+
+}  // namespace
+
+// ------------------------------------------------------------- public API
+
+VebTree::VebTree(uint64_t universe) : universe_(universe) {
+  assert(universe >= 1);
+  int bits = 1;
+  while ((uint64_t{1} << bits) < universe && bits < 63) bits++;
+  root_ = std::make_unique<Node>(bits);
+}
+
+VebTree::~VebTree() = default;
+VebTree::VebTree(VebTree&&) noexcept = default;
+VebTree& VebTree::operator=(VebTree&&) noexcept = default;
+
+bool VebTree::contains(uint64_t x) const {
+  return x < universe_ && node_contains(root_.get(), x);
+}
+
+std::optional<uint64_t> VebTree::min() const {
+  uint64_t m = node_min(root_.get());
+  if (m == kNone) return std::nullopt;
+  return m;
+}
+
+std::optional<uint64_t> VebTree::max() const {
+  uint64_t m = node_max(root_.get());
+  if (m == kNone) return std::nullopt;
+  return m;
+}
+
+std::optional<uint64_t> VebTree::pred_lt(uint64_t x) const {
+  if (x >= universe_) x = universe_;  // clamp: pred of anything above
+  uint64_t r = x == 0 ? kNone : node_pred_lt(root_.get(), x);
+  if (r == kNone) return std::nullopt;
+  return r;
+}
+
+std::optional<uint64_t> VebTree::succ_gt(uint64_t x) const {
+  if (x >= universe_) return std::nullopt;
+  uint64_t r = node_succ_gt(root_.get(), x);
+  if (r == kNone) return std::nullopt;
+  return r;
+}
+
+std::optional<uint64_t> VebTree::pred_leq(uint64_t x) const {
+  if (contains(x)) return x;
+  return pred_lt(x);
+}
+
+std::optional<uint64_t> VebTree::succ_geq(uint64_t x) const {
+  if (contains(x)) return x;
+  return succ_gt(x);
+}
+
+void VebTree::insert(uint64_t x) {
+  assert(x < universe_);
+  if (contains(x)) return;
+  node_insert(root_.get(), x);
+  size_++;
+}
+
+void VebTree::erase(uint64_t x) {
+  if (!contains(x)) return;
+  node_erase(root_.get(), x);
+  size_--;
+}
+
+int64_t VebTree::batch_insert(const std::vector<uint64_t>& batch) {
+  std::vector<uint64_t> b =
+      filter(batch, [&](uint64_t x) { return !contains(x); });
+  int64_t inserted = static_cast<int64_t>(b.size());
+  if (inserted == 0) return 0;
+  batch_insert_rec(root_.get(), std::move(b));
+  size_ += inserted;
+  return inserted;
+}
+
+int64_t VebTree::batch_delete(const std::vector<uint64_t>& batch) {
+  std::vector<uint64_t> b =
+      filter(batch, [&](uint64_t x) { return contains(x); });
+  int64_t deleted = static_cast<int64_t>(b.size());
+  if (deleted == 0) return 0;
+  int64_t m = deleted;
+  // Initialize the survivor mappings (Def. 5.1): predecessor/successor in
+  // the tree, skipping over other batch members via a "last defined" scan.
+  std::vector<uint64_t> p_map(m), s_map(m);
+  constexpr uint64_t kCopy = kNone - 1;  // "inherit from neighbour" marker
+  parallel_for(0, m, [&](int64_t i) {
+    uint64_t p = node_pred_lt(root_.get(), b[i]);
+    bool in_b = p != kNone && i > 0 && p == b[i - 1];
+    p_map[i] = in_b ? kCopy : p;
+    uint64_t s = node_succ_gt(root_.get(), b[i]);
+    bool s_in_b = s != kNone && i + 1 < m && s == b[i + 1];
+    s_map[i] = s_in_b ? kCopy : s;
+  });
+  // "Last defined value" scans. The identity must be kCopy (transparent):
+  // kNone is a *valid* mapping value (-inf / +inf), so using it as the
+  // identity would let an all-kCopy block erase the carried value.
+  scan_exclusive_index<uint64_t>(
+      m, kCopy, [&](int64_t i) { return p_map[i]; },
+      [&](int64_t i, uint64_t pre) {
+        if (p_map[i] == kCopy) p_map[i] = pre == kCopy ? kNone : pre;
+      },
+      [](uint64_t acc, uint64_t val) { return val == kCopy ? acc : val; });
+  scan_exclusive_index<uint64_t>(
+      m, kCopy, [&](int64_t i) { return s_map[m - 1 - i]; },
+      [&](int64_t i, uint64_t pre) {
+        if (s_map[m - 1 - i] == kCopy) {
+          s_map[m - 1 - i] = pre == kCopy ? kNone : pre;
+        }
+      },
+      [](uint64_t acc, uint64_t val) { return val == kCopy ? acc : val; });
+  batch_delete_rec(root_.get(), std::move(b), std::move(p_map),
+                   std::move(s_map));
+  size_ -= deleted;
+  return deleted;
+}
+
+std::vector<uint64_t> VebTree::range(uint64_t lo, uint64_t hi) const {
+  if (empty() || lo > hi) return {};
+  std::optional<uint64_t> a = succ_geq(lo);
+  if (!a || *a > hi) return {};
+  std::optional<uint64_t> b = pred_leq(std::min(hi, universe_ - 1));
+  auto tree = build_range_tree(root_.get(), *a, *b);
+  std::vector<uint64_t> out(tree->size);
+  flatten_range_tree(tree.get(), out.data());
+  return out;
+}
+
+// -------------------------------------------------------------- invariants
+
+namespace {
+
+// Always-on invariant checks (independent of NDEBUG): this is a testing
+// hook, so a violation must abort even in release builds.
+void check_that(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "VebTree invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+int64_t check_node(const Node* v, uint64_t universe) {
+  if (!v || v->is_empty()) return 0;
+  check_that(v->min < universe && v->max < universe, "min/max in universe");
+  check_that(v->min <= v->max, "min <= max");
+  if (v->base()) {
+    check_that(v->mask != 0, "nonempty base mask");
+    check_that(v->min == static_cast<uint64_t>(std::countr_zero(v->mask)),
+               "base min = lowest bit");
+    check_that(v->max == static_cast<uint64_t>(63 - std::countl_zero(v->mask)),
+               "base max = highest bit");
+    return std::popcount(v->mask);
+  }
+  int64_t count = (v->min == v->max) ? 1 : 2;
+  // min/max exclusivity: neither may appear in the clusters.
+  check_that(!node_contains(v->cluster(v->high(v->min)), v->low(v->min)),
+             "min not stored in clusters");
+  if (v->min != v->max) {
+    check_that(!node_contains(v->cluster(v->high(v->max)), v->low(v->max)),
+               "max not stored in clusters");
+  }
+  uint64_t nclusters = v->clusters.empty() ? 0 : (uint64_t{1} << v->hi_bits);
+  int64_t in_clusters = 0;
+  for (uint64_t h = 0; h < nclusters; h++) {
+    const Node* c = v->cluster(h);
+    bool nonempty = c && !c->is_empty();
+    bool in_summary = v->summary && node_contains(v->summary.get(), h);
+    check_that(nonempty == in_summary, "summary matches nonempty clusters");
+    if (nonempty) {
+      int64_t sub = check_node(c, uint64_t{1} << v->lo_bits);
+      // every cluster key sits strictly between min and max
+      check_that(v->index(h, c->min) > v->min && v->index(h, c->max) < v->max,
+                 "cluster keys strictly inside (min, max)");
+      in_clusters += sub;
+    }
+  }
+  if (v->summary) check_node(v->summary.get(), uint64_t{1} << v->hi_bits);
+  return count + in_clusters;
+}
+
+}  // namespace
+
+int64_t VebTree::check_invariants() const {
+  int64_t found = check_node(root_.get(), uint64_t{1} << root_->bits);
+  check_that(found == size_, "key count matches size()");
+  return found;
+}
+
+}  // namespace parlis

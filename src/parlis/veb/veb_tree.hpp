@@ -1,0 +1,88 @@
+// Parallel van Emde Boas tree (Sec. 5 of the paper, Thm. 1.3).
+//
+// An ordered set of integer keys in [0, U). The layout follows the paper's
+// variant of the vEB tree: a node stores its minimum AND maximum exclusively
+// (neither is stored again in the clusters — unlike CLRS, which duplicates
+// max); all remaining keys are split into high bits (kept recursively in
+// `summary`) and low bits (kept in `clusters[high]`). Subtrees with universe
+// <= 64 are a single 64-bit bitmask.
+//
+// Supported operations and costs (U = universe size, m = batch size):
+//   insert / erase / contains / pred / succ      O(log log U)
+//   batch_insert (Alg. 4)                        O(m log log U) work,
+//                                                O(log U) span
+//   batch_delete (Alg. 5, survivor mappings)     O(m log log U) work,
+//                                                O(log U log log U) span
+//   range (Alg. 6, Appendix C)                   O((1+m) log log U) work,
+//                                                O(log U log log U) span
+//
+// Batch inputs must be sorted and duplicate-free; keys already present
+// (insert) or absent (delete) are filtered out internally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace parlis {
+
+class VebTree {
+ public:
+  /// Sentinel returned by the internal pred/succ helpers ("none").
+  static constexpr uint64_t kNone = ~uint64_t{0};
+
+  /// Opaque recursive node type (public so the implementation's free
+  /// helper functions can name it; not part of the API surface).
+  struct Node;
+
+  /// Creates an empty set over universe [0, universe); universe >= 1.
+  explicit VebTree(uint64_t universe);
+  ~VebTree();
+  VebTree(VebTree&&) noexcept;
+  VebTree& operator=(VebTree&&) noexcept;
+  VebTree(const VebTree&) = delete;
+  VebTree& operator=(const VebTree&) = delete;
+
+  uint64_t universe() const { return universe_; }
+  int64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool contains(uint64_t x) const;
+  std::optional<uint64_t> min() const;
+  std::optional<uint64_t> max() const;
+  /// Largest key < x (nullopt if none).
+  std::optional<uint64_t> pred_lt(uint64_t x) const;
+  /// Smallest key > x (nullopt if none).
+  std::optional<uint64_t> succ_gt(uint64_t x) const;
+  /// Largest key <= x / smallest key >= x.
+  std::optional<uint64_t> pred_leq(uint64_t x) const;
+  std::optional<uint64_t> succ_geq(uint64_t x) const;
+
+  /// Single-point update; no-op if already present / absent.
+  void insert(uint64_t x);
+  void erase(uint64_t x);
+
+  /// Alg. 4: inserts a sorted, duplicate-free batch. Keys already present
+  /// are ignored. Returns the number of keys actually inserted.
+  int64_t batch_insert(const std::vector<uint64_t>& batch);
+
+  /// Alg. 5: deletes a sorted, duplicate-free batch using survivor
+  /// mappings. Keys not present are ignored. Returns the number deleted.
+  int64_t batch_delete(const std::vector<uint64_t>& batch);
+
+  /// Alg. 6: all keys in [lo, hi], sorted, collected in parallel.
+  std::vector<uint64_t> range(uint64_t lo, uint64_t hi) const;
+
+  /// Testing hook: walks the structure checking every vEB invariant
+  /// (min/max exclusivity, summary/cluster consistency). Aborts via assert
+  /// on violation; returns the number of keys found.
+  int64_t check_invariants() const;
+
+ private:
+  std::unique_ptr<Node> root_;
+  uint64_t universe_;
+  int64_t size_ = 0;
+};
+
+}  // namespace parlis

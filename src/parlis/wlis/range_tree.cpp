@@ -1,0 +1,124 @@
+#include "parlis/wlis/range_tree.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/primitives.hpp"
+
+namespace parlis {
+
+RangeTreeMax::RangeTreeMax(const std::vector<int64_t>& y_by_pos)
+    : n_(static_cast<int64_t>(y_by_pos.size())) {
+  if (n_ == 0) return;
+  int64_t width = static_cast<int64_t>(
+      std::bit_ceil(static_cast<uint64_t>(n_)));
+  // Build levels top-down conceptually, bottom-up physically: the leaf level
+  // is y_by_pos itself; each coarser level merges adjacent node blocks.
+  std::vector<Level> rev;
+  {
+    Level leaf;
+    leaf.width = 1;
+    leaf.ys = y_by_pos;
+    rev.push_back(std::move(leaf));
+  }
+  while (rev.back().width < width) {
+    const Level& prev = rev.back();
+    Level next;
+    next.width = prev.width * 2;
+    next.ys.resize(n_);
+    int64_t nblocks = (n_ + next.width - 1) / next.width;
+    const Level* prev_ptr = &prev;
+    Level* next_ptr = &next;
+    parallel_for(0, nblocks, [&, prev_ptr, next_ptr](int64_t blk) {
+      int64_t lo = blk * next_ptr->width;
+      int64_t mid = std::min(n_, lo + prev_ptr->width);
+      int64_t hi = std::min(n_, lo + next_ptr->width);
+      merge_into(prev_ptr->ys.begin() + lo, mid - lo,
+                 prev_ptr->ys.begin() + mid, hi - mid,
+                 next_ptr->ys.begin() + lo, std::less<int64_t>{});
+    });
+    rev.push_back(std::move(next));
+  }
+  // Allocate the Fenwick arrays (all slots 0 = "no score yet").
+  for (Level& lev : rev) {
+    lev.fenwick = std::make_unique<std::atomic<int64_t>[]>(n_);
+    parallel_for(0, n_, [&](int64_t i) {
+      lev.fenwick[i].store(0, std::memory_order_relaxed);
+    });
+  }
+  levels_.assign(std::make_move_iterator(rev.rbegin()),
+                 std::make_move_iterator(rev.rend()));
+}
+
+int64_t RangeTreeMax::fenwick_prefix_max(const std::atomic<int64_t>* f,
+                                         int64_t count) {
+  int64_t best = 0;
+  for (int64_t i = count; i > 0; i -= i & (-i)) {
+    best = std::max(best, f[i - 1].load(std::memory_order_relaxed));
+  }
+  return best;
+}
+
+void RangeTreeMax::fenwick_update(std::atomic<int64_t>* f, int64_t len,
+                                  int64_t idx, int64_t score) {
+  for (int64_t i = idx + 1; i <= len; i += i & (-i)) {
+    std::atomic<int64_t>& slot = f[i - 1];
+    int64_t cur = slot.load(std::memory_order_relaxed);
+    while (cur < score &&
+           !slot.compare_exchange_weak(cur, score, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+int64_t RangeTreeMax::dominant_max(int64_t qpos, int64_t qy) const {
+  if (qpos <= 0 || n_ == 0) return 0;
+  qpos = std::min(qpos, n_);
+  int64_t best = 0;
+  // Walk down the levels; whenever the prefix boundary crosses the midpoint
+  // of the current node, the left child is fully inside the prefix.
+  int64_t node_start = 0;
+  for (size_t d = 0; d + 1 < levels_.size(); d++) {
+    const Level& child = levels_[d + 1];
+    int64_t mid = node_start + child.width;
+    if (qpos >= mid) {
+      // left child [node_start, mid) fully covered — query it
+      int64_t len = std::min(mid, n_) - node_start;
+      if (len > 0) {
+        const int64_t* ys = child.ys.data() + node_start;
+        int64_t cnt = std::lower_bound(ys, ys + len, qy) - ys;
+        if (cnt > 0) {
+          best = std::max(
+              best, fenwick_prefix_max(child.fenwick.get() + node_start, cnt));
+        }
+      }
+      if (qpos == mid) return best;
+      node_start = mid;  // descend right
+    }
+    // else: descend left (node_start unchanged)
+  }
+  // Leaf level: node [node_start, node_start+1); qpos > node_start means the
+  // leaf itself is in the prefix.
+  if (qpos > node_start && node_start < n_) {
+    const Level& leaf = levels_.back();
+    if (leaf.ys[node_start] < qy) {
+      best = std::max(best,
+                      leaf.fenwick[node_start].load(std::memory_order_relaxed));
+    }
+  }
+  return best;
+}
+
+void RangeTreeMax::update(int64_t pos, int64_t score) {
+  int64_t y = levels_.back().ys[pos];
+  for (size_t d = 0; d < levels_.size(); d++) {
+    const Level& lev = levels_[d];
+    int64_t block = (pos / lev.width) * lev.width;
+    int64_t len = std::min(block + lev.width, n_) - block;
+    const int64_t* ys = lev.ys.data() + block;
+    int64_t idx = std::lower_bound(ys, ys + len, y) - ys;  // y's are distinct
+    fenwick_update(lev.fenwick.get() + block, len, idx, score);
+  }
+}
+
+}  // namespace parlis

@@ -1,0 +1,63 @@
+// Parallel range tree for 2D dominant-max queries (Sec. 4.1).
+//
+// Points are the WLIS objects viewed as (x = value-order position,
+// y = input index) with mutable score = dp value (initially 0, set exactly
+// once). The outer tree is a static segment tree over the value-sorted
+// positions [0, n); every node owns the y-coordinates of the points in its
+// position range, sorted ascending ("merge-sort tree" layout, one flat
+// array per level). The inner structure per node is a *prefix-max Fenwick
+// tree* over those sorted y's.
+//
+// DominantMax(qpos, qy) — max score over points with position < qpos and
+// y < qy — decomposes [0, qpos) into O(log n) canonical nodes; in each, the
+// count of y's < qy is a binary search and the max score over that prefix a
+// Fenwick prefix-max: O(log^2 n) per query.
+//
+// Update is a point score change that can only increase (dp values replace
+// the initial 0), so the Fenwick slots use atomic fetch-max: a whole
+// frontier updates in parallel with no locks. This gives Alg. 2 the
+// O(n log^2 n) work / O(k log^2 n) span bounds of Thm. 4.1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace parlis {
+
+class RangeTreeMax {
+ public:
+  /// `y_by_pos[p]` is the y-coordinate (input index) of the point at
+  /// value-order position p. All y's are distinct.
+  explicit RangeTreeMax(const std::vector<int64_t>& y_by_pos);
+
+  int64_t n() const { return n_; }
+
+  /// Max score over points with position in [0, qpos) and y < qy;
+  /// 0 when there is none (the identity of Eq. (2)).
+  int64_t dominant_max(int64_t qpos, int64_t qy) const;
+
+  /// Sets the score of the point at value-order position `pos` (whose
+  /// y-coordinate is y_by_pos[pos]) to `score` (>= 0). Safe to call
+  /// concurrently for distinct positions.
+  void update(int64_t pos, int64_t score);
+
+ private:
+  struct Level {
+    int64_t width;                // positions per node at this level
+    std::vector<int64_t> ys;      // per node block: sorted y's
+    std::unique_ptr<std::atomic<int64_t>[]> fenwick;  // per node block
+  };
+
+  // Fenwick prefix-max over [block, block+len) restricted to first `count`.
+  static int64_t fenwick_prefix_max(const std::atomic<int64_t>* f,
+                                    int64_t count);
+  static void fenwick_update(std::atomic<int64_t>* f, int64_t len,
+                             int64_t idx, int64_t score);
+
+  int64_t n_;
+  std::vector<Level> levels_;  // levels_[0] = root (width >= n)
+};
+
+}  // namespace parlis

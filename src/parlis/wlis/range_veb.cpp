@@ -1,0 +1,173 @@
+#include "parlis/wlis/range_veb.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/primitives.hpp"
+
+namespace parlis {
+
+RangeVeb::RangeVeb(const std::vector<int64_t>& y_by_pos)
+    : n_(static_cast<int64_t>(y_by_pos.size())) {
+  if (n_ == 0) return;
+  int64_t width =
+      static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(n_)));
+  std::vector<Level> rev;
+  {
+    Level leaf;
+    leaf.width = 1;
+    leaf.ys = y_by_pos;
+    rev.push_back(std::move(leaf));
+  }
+  while (rev.back().width < width) {
+    const Level& prev = rev.back();
+    Level next;
+    next.width = prev.width * 2;
+    next.ys.resize(n_);
+    int64_t nblocks = (n_ + next.width - 1) / next.width;
+    parallel_for(0, nblocks, [&](int64_t blk) {
+      int64_t lo = blk * next.width;
+      int64_t mid = std::min(n_, lo + prev.width);
+      int64_t hi = std::min(n_, lo + next.width);
+      merge_into(prev.ys.begin() + lo, mid - lo, prev.ys.begin() + mid,
+                 hi - mid, next.ys.begin() + lo, std::less<int64_t>{});
+    });
+    rev.push_back(std::move(next));
+  }
+  // One Mono-vEB per node block, with relabeled universe = block length.
+  for (Level& lev : rev) {
+    int64_t nblocks = (n_ + lev.width - 1) / lev.width;
+    lev.inner.reserve(nblocks);
+    for (int64_t blk = 0; blk < nblocks; blk++) {
+      int64_t lo = blk * lev.width;
+      int64_t len = std::min(n_, lo + lev.width) - lo;
+      lev.inner.emplace_back(static_cast<uint64_t>(len));
+    }
+  }
+  levels_.assign(std::make_move_iterator(rev.rbegin()),
+                 std::make_move_iterator(rev.rend()));
+}
+
+int64_t RangeVeb::dominant_max(int64_t qpos, int64_t qy) const {
+  if (qpos <= 0 || n_ == 0) return 0;
+  qpos = std::min(qpos, n_);
+  int64_t best = 0;
+  int64_t node_start = 0;
+  for (size_t d = 0; d + 1 < levels_.size(); d++) {
+    const Level& child = levels_[d + 1];
+    int64_t mid = node_start + child.width;
+    if (qpos >= mid) {
+      int64_t len = std::min(mid, n_) - node_start;
+      if (len > 0) {
+        const int64_t* ys = child.ys.data() + node_start;
+        // Relabel qy: its label in this node is the count of y's below it.
+        uint64_t label = std::lower_bound(ys, ys + len, qy) - ys;
+        const MonoVeb& mv = child.inner[node_start / child.width];
+        MonoVeb::MaxBelow mb = mv.max_below(label);
+        if (mb.found) best = std::max(best, mb.score);
+      }
+      if (qpos == mid) return best;
+      node_start = mid;
+    }
+  }
+  if (qpos > node_start && node_start < n_) {
+    const Level& leaf = levels_.back();
+    if (leaf.ys[node_start] < qy) {
+      const MonoVeb& mv = leaf.inner[node_start];
+      MonoVeb::MaxBelow mb = mv.max_below(1);  // universe {0}
+      if (mb.found) best = std::max(best, mb.score);
+    }
+  }
+  return best;
+}
+
+void RangeVeb::update(const std::vector<Item>& batch) {
+  int64_t m = static_cast<int64_t>(batch.size());
+  if (m == 0) return;
+  // Per level: group the batch by node block (stable by block id keeps each
+  // group sorted by y), relabel, and update each inner tree in parallel.
+  for (Level& lev : levels_) {
+    int64_t nblocks = (n_ + lev.width - 1) / lev.width;
+    auto [order, offsets] = counting_sort_index(
+        m, nblocks, [&](int64_t i) { return batch[i].pos / lev.width; });
+    parallel_for(0, nblocks, [&](int64_t blk) {
+      int64_t s = offsets[blk], e = offsets[blk + 1];
+      if (s == e) return;
+      int64_t lo = blk * lev.width;
+      int64_t len = std::min(n_, lo + lev.width) - lo;
+      const int64_t* ys = lev.ys.data() + lo;
+      std::vector<MonoVeb::Point> pts(e - s);
+      for (int64_t i = s; i < e; i++) {
+        const Item& it = batch[order[i]];
+        int64_t y = levels_.back().ys[it.pos];
+        uint64_t label = std::lower_bound(ys, ys + len, y) - ys;
+        pts[i - s] = {label, it.score};
+      }
+      lev.inner[blk].insert_staircase(std::move(pts));
+    });
+  }
+}
+
+void RangeVeb::precompute_query_labels(const std::vector<int64_t>& qpos_by_y) {
+  qpos_ = qpos_by_y;
+  int64_t steps = static_cast<int64_t>(levels_.size()) - 1;
+  labels_.assign(steps * n_, -1);
+  parallel_for(0, n_, [&](int64_t j) {
+    int64_t qpos = std::min(qpos_by_y[j], n_);
+    if (qpos <= 0) return;
+    int64_t node_start = 0;
+    for (int64_t d = 0; d < steps; d++) {
+      const Level& child = levels_[d + 1];
+      int64_t mid = node_start + child.width;
+      if (qpos >= mid) {
+        int64_t len = std::min(mid, n_) - node_start;
+        if (len > 0) {
+          const int64_t* ys = child.ys.data() + node_start;
+          labels_[d * n_ + j] =
+              static_cast<int32_t>(std::lower_bound(ys, ys + len, j) - ys);
+        }
+        if (qpos == mid) return;
+        node_start = mid;
+      }
+    }
+  });
+}
+
+int64_t RangeVeb::dominant_max_point(int64_t j) const {
+  int64_t qpos = std::min(qpos_[j], n_);
+  if (qpos <= 0 || n_ == 0) return 0;
+  int64_t best = 0;
+  int64_t node_start = 0;
+  int64_t steps = static_cast<int64_t>(levels_.size()) - 1;
+  for (int64_t d = 0; d < steps; d++) {
+    const Level& child = levels_[d + 1];
+    int64_t mid = node_start + child.width;
+    if (qpos >= mid) {
+      int32_t label = labels_[d * n_ + j];
+      if (label > 0) {
+        const MonoVeb& mv = child.inner[node_start / child.width];
+        MonoVeb::MaxBelow mb = mv.max_below(static_cast<uint64_t>(label));
+        if (mb.found) best = std::max(best, mb.score);
+      }
+      if (qpos == mid) return best;
+      node_start = mid;
+    }
+  }
+  if (qpos > node_start && node_start < n_) {
+    const Level& leaf = levels_.back();
+    if (leaf.ys[node_start] < j) {
+      MonoVeb::MaxBelow mb = leaf.inner[node_start].max_below(1);
+      if (mb.found) best = std::max(best, mb.score);
+    }
+  }
+  return best;
+}
+
+void RangeVeb::check() const {
+  for (const Level& lev : levels_) {
+    for (const MonoVeb& mv : lev.inner) mv.check_staircase();
+  }
+}
+
+}  // namespace parlis

@@ -1,0 +1,74 @@
+// Range-vEB tree (Sec. 4.2, Alg. 3): the two-level structure whose outer
+// tree is a static segment tree over value-sorted positions and whose inner
+// trees are Mono-vEB staircases over *relabeled* y-coordinates
+// (Appendix E): each node relabels its points' y's to [0, |S_v|), so the
+// inner universes sum to O(n log n) space.
+//
+// DominantMax decomposes the x-prefix into O(log n) canonical nodes and asks
+// each inner Mono-vEB for the predecessor of the (relabeled) query y — one
+// O(log log n) Pred per node. Update routes each frontier point to its
+// O(log n) ancestor nodes, refines each per-node batch to the staircase,
+// and applies CoveredBy + BatchDelete + BatchInsert (Thm. 1.2 bounds, up to
+// the binary-search label lookup documented in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parlis/veb/mono_veb.hpp"
+
+namespace parlis {
+
+class RangeVeb {
+ public:
+  /// `y_by_pos[p]` is the y-coordinate of the point at value-order
+  /// position p; all distinct.
+  explicit RangeVeb(const std::vector<int64_t>& y_by_pos);
+
+  int64_t n() const { return n_; }
+
+  /// Max score over points with position in [0, qpos) and y < qy; 0 if none.
+  int64_t dominant_max(int64_t qpos, int64_t qy) const;
+
+  /// Batch score update: items (pos, score) with distinct positions, sorted
+  /// by y-coordinate ascending. Each position is updated at most once over
+  /// the structure's lifetime (WLIS sets each dp exactly once).
+  struct Item {
+    int64_t pos;    // value-order position
+    int64_t score;  // dp value
+  };
+  void update(const std::vector<Item>& batch);
+
+  /// Testing hook: validates every inner staircase.
+  void check() const;
+
+  /// Appendix E per-point label tables: precomputes, for every point j, the
+  /// relabeled query label in each canonical node of its dominant-max
+  /// decomposition (x-prefix qpos_by_y[j], y-bound y of point j). After
+  /// this, dominant_max_point(j) answers j's WLIS query with O(1) label
+  /// lookups — one Pred per canonical node, no binary searches — matching
+  /// the paper's O(log n log log n) query bound.
+  void precompute_query_labels(const std::vector<int64_t>& qpos_by_y);
+
+  /// Dominant-max for input point j (y-coordinate j), using the tables.
+  /// Requires precompute_query_labels() and that j's query is exactly
+  /// (qpos_by_y[j], j).
+  int64_t dominant_max_point(int64_t j) const;
+
+ private:
+  struct Level {
+    int64_t width = 0;
+    std::vector<int64_t> ys;       // per node block: sorted y's (labels)
+    std::vector<MonoVeb> inner;    // one Mono-vEB per block
+  };
+
+  int64_t n_;
+  std::vector<Level> levels_;  // levels_[0] = root
+  // Appendix E tables: labels_[d * n + j] is point j's query label in the
+  // canonical node consumed at descent step d (-1 = no canonical node
+  // there). qpos_ mirrors the argument of precompute_query_labels.
+  std::vector<int32_t> labels_;
+  std::vector<int64_t> qpos_;
+};
+
+}  // namespace parlis

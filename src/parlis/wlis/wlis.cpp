@@ -1,0 +1,183 @@
+#include "parlis/wlis/wlis.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "parlis/lis/lis.hpp"
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/primitives.hpp"
+#include "parlis/wlis/range_tree.hpp"
+#include "parlis/wlis/range_veb.hpp"
+
+namespace parlis {
+
+namespace {
+
+// Value-order preprocessing shared by both RangeStructs: points sorted by
+// (value, index). pos[i] = position of object i in that order; qpos[i] =
+// number of objects with value strictly below a[i] (the x-prefix bound of
+// object i's dominant-max query, which keeps the comparison strict even
+// with duplicate values).
+struct ValueOrder {
+  std::vector<int64_t> pos;
+  std::vector<int64_t> qpos;
+  std::vector<int64_t> y_by_pos;  // inverse of pos
+};
+
+ValueOrder build_value_order(const std::vector<int64_t>& a) {
+  int64_t n = static_cast<int64_t>(a.size());
+  ValueOrder vo;
+  vo.y_by_pos.resize(n);
+  parallel_for(0, n, [&](int64_t i) { vo.y_by_pos[i] = i; });
+  sort_inplace(vo.y_by_pos, [&](int64_t i, int64_t j) {
+    return a[i] != a[j] ? a[i] < a[j] : i < j;
+  });
+  vo.pos.resize(n);
+  vo.qpos.resize(n);
+  parallel_for(0, n, [&](int64_t p) { vo.pos[vo.y_by_pos[p]] = p; });
+  // qpos = start of the value's run in the sorted order ("last defined" scan)
+  std::vector<int64_t> run_start(n);
+  parallel_for(0, n, [&](int64_t p) {
+    run_start[p] = (p == 0 || a[vo.y_by_pos[p - 1]] != a[vo.y_by_pos[p]])
+                       ? p
+                       : int64_t{-1};
+  });
+  // Identity must be the transparent marker (-1), not 0: position 0 is a
+  // valid run start and an all-undefined block must not erase the carry.
+  scan_exclusive_index<int64_t>(
+      n, int64_t{-1}, [&](int64_t p) { return run_start[p]; },
+      [&](int64_t p, int64_t pre) {
+        if (run_start[p] < 0) run_start[p] = pre;
+      },
+      [](int64_t acc, int64_t v) { return v < 0 ? acc : v; });
+  parallel_for(0, n,
+               [&](int64_t p) { vo.qpos[vo.y_by_pos[p]] = run_start[p]; });
+  return vo;
+}
+
+// Adapters giving both RangeStructs the same frontier-batch interface.
+struct TreeAdapter {
+  RangeTreeMax rs;
+  explicit TreeAdapter(const ValueOrder& vo) : rs(vo.y_by_pos) {}
+  int64_t dominant_max(int64_t qpos, int64_t qy) const {
+    return rs.dominant_max(qpos, qy);
+  }
+  void update_frontier(const int64_t* f, int64_t fn, const ValueOrder& vo,
+                       const std::vector<int64_t>& dp) {
+    // Scores only grow; atomic fetch-max makes this lock-free.
+    parallel_for(0, fn,
+                 [&](int64_t t) { rs.update(vo.pos[f[t]], dp[f[t]]); });
+  }
+};
+
+struct VebAdapter {
+  RangeVeb rs;
+  explicit VebAdapter(const ValueOrder& vo) : rs(vo.y_by_pos) {}
+  int64_t dominant_max(int64_t qpos, int64_t qy) const {
+    return rs.dominant_max(qpos, qy);
+  }
+  void update_frontier(const int64_t* f, int64_t fn, const ValueOrder& vo,
+                       const std::vector<int64_t>& dp) {
+    std::vector<RangeVeb::Item> batch(fn);  // frontier sorted by index = by y
+    parallel_for(0, fn,
+                 [&](int64_t t) { batch[t] = {vo.pos[f[t]], dp[f[t]]}; });
+    rs.update(batch);
+  }
+};
+
+// Like VebAdapter but with the Appendix E label tables: queries for input
+// point j go through dominant_max_point(j).
+struct VebTabulatedAdapter {
+  RangeVeb rs;
+  explicit VebTabulatedAdapter(const ValueOrder& vo) : rs(vo.y_by_pos) {
+    std::vector<int64_t> qpos_by_y(vo.qpos);  // indexed by y already
+    rs.precompute_query_labels(qpos_by_y);
+  }
+  int64_t dominant_max_point(int64_t j) const {
+    return rs.dominant_max_point(j);
+  }
+  void update_frontier(const int64_t* f, int64_t fn, const ValueOrder& vo,
+                       const std::vector<int64_t>& dp) {
+    std::vector<RangeVeb::Item> batch(fn);
+    parallel_for(0, fn,
+                 [&](int64_t t) { batch[t] = {vo.pos[f[t]], dp[f[t]]}; });
+    rs.update(batch);
+  }
+};
+
+template <typename Adapter>
+WlisResult run_wlis(const std::vector<int64_t>& a,
+                    const std::vector<int64_t>& w) {
+  WlisResult res;
+  int64_t n = static_cast<int64_t>(a.size());
+  LisFrontiers fr = lis_frontiers(a);
+  ValueOrder vo = build_value_order(a);
+  Adapter ad(vo);
+  res.dp.assign(n, 0);
+  res.k = fr.k;
+  for (int32_t r = 1; r <= fr.k; r++) {
+    const int64_t* f = fr.frontier_flat.data() + fr.frontier_offset[r - 1];
+    int64_t fn = fr.frontier_offset[r] - fr.frontier_offset[r - 1];
+    // Line 16: all dp values of the frontier in parallel.
+    parallel_for(0, fn, [&](int64_t t) {
+      int64_t j = f[t];
+      int64_t q;
+      if constexpr (requires { ad.dominant_max_point(j); }) {
+        q = ad.dominant_max_point(j);  // Appendix E tables
+      } else {
+        q = ad.dominant_max(vo.qpos[j], j);
+      }
+      res.dp[j] = w[j] + std::max<int64_t>(0, q);
+    });
+    // Lines 17-18: publish the new scores as one batch.
+    ad.update_frontier(f, fn, vo, res.dp);
+  }
+  res.best = reduce_index<int64_t>(
+      0, n, 0, [&](int64_t i) { return res.dp[i]; },
+      [](int64_t x, int64_t y) { return std::max(x, y); });
+  return res;
+}
+
+}  // namespace
+
+WlisResult wlis(const std::vector<int64_t>& a, const std::vector<int64_t>& w,
+                WlisStructure structure) {
+  assert(a.size() == w.size());
+  if (a.empty()) return {};
+  switch (structure) {
+    case WlisStructure::kRangeTree:
+      return run_wlis<TreeAdapter>(a, w);
+    case WlisStructure::kRangeVeb:
+      return run_wlis<VebAdapter>(a, w);
+    case WlisStructure::kRangeVebTabulated:
+      return run_wlis<VebTabulatedAdapter>(a, w);
+  }
+  return {};
+}
+
+std::vector<int64_t> wlis_sequence(const std::vector<int64_t>& a,
+                                   const std::vector<int64_t>& w,
+                                   const WlisResult& result) {
+  const std::vector<int64_t>& dp = result.dp;
+  if (dp.empty()) return {};
+  // Start at the leftmost argmax (any works; leftmost is deterministic).
+  int64_t cur = 0;
+  for (size_t i = 1; i < dp.size(); i++) {
+    if (dp[i] > dp[cur]) cur = static_cast<int64_t>(i);
+  }
+  std::vector<int64_t> seq = {cur};
+  // Follow decisions backwards: dp[cur] = w[cur] + max(0, dp[j]) for some
+  // j < cur with a[j] < a[cur]; stop when the tail contribution is <= 0.
+  while (dp[cur] - w[cur] > 0) {
+    int64_t target = dp[cur] - w[cur];
+    int64_t j = cur - 1;
+    while (j >= 0 && !(dp[j] == target && a[j] < a[cur])) j--;
+    assert(j >= 0 && "dp table inconsistent with inputs");
+    seq.push_back(j);
+    cur = j;
+  }
+  std::reverse(seq.begin(), seq.end());
+  return seq;
+}
+
+}  // namespace parlis

@@ -1,0 +1,44 @@
+// Parallel weighted LIS (Alg. 2, Thm. 1.2 / Thm. 4.1).
+//
+// Computes dp[i] = w_i + max(0, max_{j<i, A_j<A_i} dp[j]) for every object:
+// Alg. 1 first assigns ranks, then frontiers are processed in rank order;
+// within a frontier all dp values are independent and computed in parallel
+// via dominant-max queries on a RangeStruct, which is then batch-updated.
+//
+// Two RangeStructs are provided, matching the paper:
+//  * kRangeTree  — Sec. 4.1, O(n log^2 n) work (the practical choice),
+//  * kRangeVeb   — Sec. 4.2, Mono-vEB inner trees (the theoretical one).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parlis {
+
+/// Dominant-max structure for Alg. 2:
+///  kRangeTree          Sec. 4.1 (prefix-max Fenwick inner trees)
+///  kRangeVeb           Sec. 4.2 (Mono-vEB inner trees; query labels found
+///                      by binary search)
+///  kRangeVebTabulated  Sec. 4.2 + Appendix E per-point label tables
+///                      (O(log n log log n) queries, extra O(n log n) space)
+enum class WlisStructure { kRangeTree, kRangeVeb, kRangeVebTabulated };
+
+struct WlisResult {
+  std::vector<int64_t> dp;  // dp[i] per Eq. (2)
+  int64_t best = 0;         // max weighted increasing subsequence sum
+  int32_t k = 0;            // LIS length (number of rounds)
+};
+
+/// Weighted LIS of `a` with weights `w` (|w| == |a|).
+WlisResult wlis(const std::vector<int64_t>& a, const std::vector<int64_t>& w,
+                WlisStructure structure = WlisStructure::kRangeTree);
+
+/// Recovers the indices of one maximum-weight increasing subsequence from
+/// the dp table (ascending indices, strictly increasing values, weight sum
+/// == max dp). A single backward scan: from the argmax, repeatedly find the
+/// rightmost j < i with a[j] < a[i] and dp[j] = dp[i] - w[i]; O(n) total.
+std::vector<int64_t> wlis_sequence(const std::vector<int64_t>& a,
+                                   const std::vector<int64_t>& w,
+                                   const WlisResult& result);
+
+}  // namespace parlis

@@ -1,0 +1,176 @@
+// Adversarial-shape tests: inputs crafted to stress specific code paths —
+// worst-case frontier shapes for the tournament tree, staircase-hostile
+// update orders for the Mono-vEB, and boundary-heavy vEB batches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "parlis/lis/lis.hpp"
+#include "parlis/lis/seq_lis.hpp"
+#include "parlis/parallel/random.hpp"
+#include "parlis/veb/veb_tree.hpp"
+#include "parlis/wlis/seq_avl.hpp"
+#include "parlis/wlis/wlis.hpp"
+
+namespace parlis {
+namespace {
+
+// ----------------------------------------------------------- LIS shapes ---
+
+TEST(AdversarialLis, SawtoothManyTeeth) {
+  // Each tooth rises; teeth overlap in value so frontiers interleave.
+  std::vector<int64_t> a;
+  for (int tooth = 0; tooth < 200; tooth++) {
+    for (int64_t v = 0; v < 37; v++) a.push_back(v * 1000 + tooth);
+  }
+  EXPECT_EQ(lis_length(a), seq_bs_length(a));
+  auto seq = lis_sequence(a);
+  EXPECT_EQ(static_cast<int64_t>(seq.size()), seq_bs_length(a));
+}
+
+TEST(AdversarialLis, BitReversalPermutation) {
+  // Bit-reversal permutations maximize merge-like interleaving.
+  constexpr int kBits = 14;
+  std::vector<int64_t> a(1 << kBits);
+  for (int64_t i = 0; i < (1 << kBits); i++) {
+    int64_t r = 0;
+    for (int b = 0; b < kBits; b++) r |= ((i >> b) & 1) << (kBits - 1 - b);
+    a[i] = r;
+  }
+  LisResult ours = lis_ranks(a);
+  EXPECT_EQ(ours.rank, seq_bs_ranks(a));
+}
+
+TEST(AdversarialLis, TwoInterleavedRuns) {
+  // Odd positions ascend, even positions descend: rank structure alternates.
+  std::vector<int64_t> a(20000);
+  for (int64_t i = 0; i < 20000; i++) {
+    a[i] = (i % 2 == 0) ? (1000000 - i) : i;
+  }
+  EXPECT_EQ(lis_ranks(a).rank, seq_bs_ranks(a));
+}
+
+TEST(AdversarialLis, ManyDuplicatesFewValues) {
+  // Only 3 distinct values: frontiers are huge, rounds are few.
+  std::vector<int64_t> a(30000);
+  for (size_t i = 0; i < a.size(); i++) a[i] = hash64(7, i) % 3;
+  LisResult r = lis_ranks(a);
+  EXPECT_LE(r.k, 3);
+  EXPECT_EQ(r.rank, seq_bs_ranks(a));
+}
+
+// ---------------------------------------------------------- WLIS shapes ---
+
+TEST(AdversarialWlis, AllWeightOnOneElement) {
+  std::vector<int64_t> a = {1, 2, 3, 100, 4, 5};
+  std::vector<int64_t> w = {1, 1, 1, 1000, 1, 1};
+  WlisResult r = wlis(a, w);
+  EXPECT_EQ(r.best, 1003);  // 1,2,3,100 carries the heavy element
+  auto seq = wlis_sequence(a, w, r);
+  EXPECT_EQ(seq, (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST(AdversarialWlis, HeavyElementsOnDescendingChain) {
+  // Weights reward the *anti*-LIS direction; best chain is a single heavy
+  // element, not the long light chain.
+  std::vector<int64_t> a(1000), w(1000);
+  for (int64_t i = 0; i < 1000; i++) {
+    a[i] = i;         // fully increasing
+    w[i] = 1;         // light
+  }
+  a[500] = -1;        // breaks ordering for the heavy element
+  w[500] = 5000;      // heavy singleton
+  WlisResult r = wlis(a, w);
+  EXPECT_EQ(r.dp, seq_avl_wlis(a, w));
+  EXPECT_EQ(r.best, 5000 + 499);  // heavy element + the ascending tail after it
+}
+
+TEST(AdversarialWlis, ZigZagValuesRandomWeights) {
+  std::vector<int64_t> a(4000), w(4000);
+  for (int64_t i = 0; i < 4000; i++) {
+    a[i] = (i % 2 == 0 ? 1 : -1) * (i / 2) + 2000;
+    w[i] = 1 + static_cast<int64_t>(hash64(13, i) % 97);
+  }
+  for (auto structure :
+       {WlisStructure::kRangeTree, WlisStructure::kRangeVeb,
+        WlisStructure::kRangeVebTabulated}) {
+    EXPECT_EQ(wlis(a, w, structure).dp, seq_avl_wlis(a, w));
+  }
+}
+
+// ----------------------------------------------------------- vEB shapes ---
+
+TEST(AdversarialVeb, AlternatingMinMaxDeletions) {
+  // Repeatedly delete {current min, current max} as a batch: every batch
+  // exercises both boundary-restoration paths of Alg. 5 at once.
+  VebTree t(1 << 16);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 2000; i++) keys.push_back(uniform(17, i, 1 << 16));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  t.batch_insert(keys);
+  size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    std::vector<uint64_t> batch;
+    batch.push_back(keys[lo++]);
+    if (lo < hi) batch.push_back(keys[--hi]);
+    std::sort(batch.begin(), batch.end());
+    t.batch_delete(batch);
+    t.check_invariants();
+    if (lo < hi) {
+      ASSERT_EQ(*t.min(), keys[lo]);
+      ASSERT_EQ(*t.max(), keys[hi - 1]);
+    }
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(AdversarialVeb, ClusterBoundaryKeys) {
+  // Keys straddling every cluster boundary of a 2^16 universe (high-bit
+  // transitions are where the summary bookkeeping lives).
+  VebTree t(1 << 16);
+  std::vector<uint64_t> keys;
+  for (uint64_t h = 0; h < 256; h++) {
+    keys.push_back(h * 256);        // first of each cluster
+    keys.push_back(h * 256 + 255);  // last of each cluster
+  }
+  t.batch_insert(keys);
+  t.check_invariants();
+  EXPECT_EQ(t.size(), 512);
+  // succ from each "last" must jump to the next cluster's "first".
+  for (uint64_t h = 0; h + 1 < 256; h++) {
+    EXPECT_EQ(*t.succ_gt(h * 256 + 255), (h + 1) * 256);
+  }
+  // Delete all the "first" keys; succ/pred must still be exact.
+  std::vector<uint64_t> firsts;
+  for (uint64_t h = 0; h < 256; h++) firsts.push_back(h * 256);
+  t.batch_delete(firsts);
+  t.check_invariants();
+  for (uint64_t h = 0; h + 1 < 256; h++) {
+    EXPECT_EQ(*t.succ_gt(h * 256 + 255), (h + 1) * 256 + 255);
+  }
+}
+
+TEST(AdversarialVeb, RepeatedFillAndDrain) {
+  // Failure-injection style soak: fill, drain via ranges, refill — the
+  // structure must return to a byte-identical logical state every cycle.
+  VebTree t(100000);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5000; i++) keys.push_back(uniform(23, i, 100000));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (int cycle = 0; cycle < 10; cycle++) {
+    t.batch_insert(keys);
+    ASSERT_EQ(t.range(0, 99999), keys) << cycle;
+    auto half = t.range(0, 49999);
+    t.batch_delete(half);
+    auto rest = t.range(0, 99999);
+    t.batch_delete(rest);
+    ASSERT_TRUE(t.empty()) << cycle;
+    t.check_invariants();
+  }
+}
+
+}  // namespace
+}  // namespace parlis

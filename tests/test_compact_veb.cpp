@@ -1,0 +1,122 @@
+// Tests for the space-efficient hashed-cluster vEB variant (Appendix E's
+// O(n)-space alternative): behavioural equivalence with the array-based
+// VebTree and the space guarantee itself.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "parlis/parallel/random.hpp"
+#include "parlis/veb/compact_veb.hpp"
+#include "parlis/veb/veb_tree.hpp"
+
+namespace parlis {
+namespace {
+
+TEST(CompactVeb, BasicLifecycle) {
+  CompactVebTree t(1 << 20);
+  EXPECT_TRUE(t.empty());
+  t.insert(1234);
+  t.insert(999999);
+  t.insert(0);
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_EQ(*t.min(), 0u);
+  EXPECT_EQ(*t.max(), 999999u);
+  EXPECT_EQ(*t.succ_gt(1234), 999999u);
+  EXPECT_EQ(*t.pred_lt(1234), 0u);
+  t.erase(1234);
+  EXPECT_FALSE(t.contains(1234));
+  EXPECT_EQ(*t.succ_gt(0), 999999u);
+}
+
+struct CompactCase {
+  uint64_t universe;
+  uint64_t seed;
+};
+
+class CompactVebRandomized : public ::testing::TestWithParam<CompactCase> {};
+
+TEST_P(CompactVebRandomized, MatchesArrayVebAndStdSet) {
+  auto [universe, seed] = GetParam();
+  CompactVebTree compact(universe);
+  VebTree dense(universe);
+  std::set<uint64_t> ref;
+  for (int op = 0; op < 6000; op++) {
+    uint64_t x = uniform(seed, op, universe);
+    switch (hash64(seed + 1, op) % 4) {
+      case 0:
+        compact.insert(x);
+        dense.insert(x);
+        ref.insert(x);
+        break;
+      case 1:
+        compact.erase(x);
+        dense.erase(x);
+        ref.erase(x);
+        break;
+      case 2: {
+        ASSERT_EQ(compact.contains(x), ref.count(x) > 0);
+        auto p1 = compact.pred_lt(x);
+        auto p2 = dense.pred_lt(x);
+        ASSERT_EQ(p1.has_value(), p2.has_value());
+        if (p1) {
+          ASSERT_EQ(*p1, *p2);
+        }
+        break;
+      }
+      default: {
+        auto s1 = compact.succ_gt(x);
+        auto s2 = dense.succ_gt(x);
+        ASSERT_EQ(s1.has_value(), s2.has_value());
+        if (s1) {
+          ASSERT_EQ(*s1, *s2);
+        }
+      }
+    }
+    ASSERT_EQ(compact.size(), static_cast<int64_t>(ref.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompactVebRandomized,
+                         ::testing::Values(CompactCase{64, 1},
+                                           CompactCase{1 << 10, 2},
+                                           CompactCase{1 << 16, 3},
+                                           CompactCase{100000, 4},
+                                           CompactCase{1 << 24, 5}));
+
+TEST(CompactVeb, HugeUniverseSparseKeysStaySmall) {
+  // 2^48 universe: the array-based layout is unusable; the hashed layout
+  // must allocate O(keys * log log U) nodes.
+  CompactVebTree t(uint64_t{1} << 48);
+  constexpr int kKeys = 2000;
+  for (int i = 0; i < kKeys; i++) {
+    t.insert(hash64(9, i) % (uint64_t{1} << 48));
+  }
+  EXPECT_LE(t.allocated_nodes(), kKeys * 8);  // ~log log U levels per key
+  // ordered iteration via succ
+  uint64_t cur = *t.min();
+  int64_t seen = 1;
+  while (auto nxt = t.succ_gt(cur)) {
+    ASSERT_GT(*nxt, cur);
+    cur = *nxt;
+    seen++;
+  }
+  EXPECT_EQ(seen, t.size());
+}
+
+TEST(CompactVeb, SpaceReclaimedOnErase) {
+  CompactVebTree t(uint64_t{1} << 32);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5000; i++) {
+    keys.push_back(hash64(10, i) % (uint64_t{1} << 32));
+  }
+  for (uint64_t x : keys) t.insert(x);
+  int64_t peak = t.allocated_nodes();
+  for (uint64_t x : keys) t.erase(x);
+  EXPECT_TRUE(t.empty());
+  // Emptied clusters are dropped from the hash maps.
+  EXPECT_LT(t.allocated_nodes(), peak / 10);
+}
+
+}  // namespace
+}  // namespace parlis

@@ -1,0 +1,114 @@
+// End-to-end integration tests: the full pipelines at medium scale, on the
+// paper's input distributions, cross-checking every implementation pair.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "parlis/lis/lis.hpp"
+#include "parlis/lis/seq_lis.hpp"
+#include "parlis/swgs/swgs.hpp"
+#include "parlis/util/generators.hpp"
+#include "parlis/veb/veb_tree.hpp"
+#include "parlis/wlis/seq_avl.hpp"
+#include "parlis/wlis/wlis.hpp"
+
+namespace parlis {
+namespace {
+
+TEST(Integration, LisLinePatternMedium) {
+  auto a = line_pattern(300000, 500, 101);
+  LisResult ours = lis_ranks(a);
+  auto bs = seq_bs_ranks(a);
+  ASSERT_EQ(ours.rank.size(), bs.size());
+  for (size_t i = 0; i < bs.size(); i++) ASSERT_EQ(ours.rank[i], bs[i]) << i;
+}
+
+TEST(Integration, LisRangePatternMedium) {
+  auto a = range_pattern(300000, 2000, 102);
+  EXPECT_EQ(lis_length(a), seq_bs_length(a));
+}
+
+TEST(Integration, LisExtremeShapes) {
+  // sawtooth: k should equal the number of teeth climbs
+  std::vector<int64_t> saw;
+  for (int rep = 0; rep < 100; rep++) {
+    for (int64_t v = 0; v < 50; v++) saw.push_back(v * 100 + rep);
+  }
+  EXPECT_EQ(lis_length(saw), seq_bs_length(saw));
+  // organ pipe
+  std::vector<int64_t> pipe;
+  for (int64_t v = 0; v < 5000; v++) pipe.push_back(v);
+  for (int64_t v = 5000; v > 0; v--) pipe.push_back(v);
+  EXPECT_EQ(lis_length(pipe), 5001);
+}
+
+TEST(Integration, ReconstructionOnGeneratedInputs) {
+  for (uint64_t seed = 0; seed < 3; seed++) {
+    auto a = line_pattern(100000, 300, 200 + seed);
+    int64_t k = seq_bs_length(a);
+    auto seq = lis_sequence(a);
+    ASSERT_EQ(static_cast<int64_t>(seq.size()), k);
+    for (size_t j = 1; j < seq.size(); j++) {
+      ASSERT_LT(seq[j - 1], seq[j]);
+      ASSERT_LT(a[seq[j - 1]], a[seq[j]]);
+    }
+  }
+}
+
+TEST(Integration, WlisPipelinesAgreeOnPaperDistributions) {
+  auto a = line_pattern(40000, 120, 103);
+  auto w = uniform_weights(a.size(), 104);
+  WlisResult tree = wlis(a, w, WlisStructure::kRangeTree);
+  WlisResult veb = wlis(a, w, WlisStructure::kRangeVeb);
+  auto avl = seq_avl_wlis(a, w);
+  SwgsWlisResult sw = swgs_wlis(a, w);
+  EXPECT_EQ(tree.dp, avl);
+  EXPECT_EQ(veb.dp, avl);
+  EXPECT_EQ(sw.dp, avl);
+  EXPECT_EQ(tree.best, veb.best);
+}
+
+TEST(Integration, SwgsAgreesOnRangePattern) {
+  auto a = range_pattern(50000, 60, 105);
+  auto sw = swgs_lis_ranks(a);
+  auto bs = seq_bs_ranks(a);
+  for (size_t i = 0; i < a.size(); i++) ASSERT_EQ(sw.rank[i], bs[i]);
+}
+
+TEST(Integration, VebAsFrontierIndexSet) {
+  // Use the vEB tree the way Alg. 3 does: maintain a set of indices under
+  // batch churn driven by real LIS frontiers.
+  auto a = range_pattern(20000, 100, 106);
+  LisFrontiers fr = lis_frontiers(a);
+  VebTree live(a.size());
+  std::vector<uint64_t> all(a.size());
+  for (size_t i = 0; i < a.size(); i++) all[i] = i;
+  live.batch_insert(all);
+  int64_t remaining = static_cast<int64_t>(a.size());
+  for (int32_t r = 1; r <= fr.k; r++) {
+    std::vector<uint64_t> batch(
+        fr.frontier_flat.begin() + fr.frontier_offset[r - 1],
+        fr.frontier_flat.begin() + fr.frontier_offset[r]);
+    remaining -= live.batch_delete(batch);
+    ASSERT_EQ(live.size(), remaining);
+  }
+  EXPECT_TRUE(live.empty());
+}
+
+TEST(Integration, LargeUniverseVebSparse) {
+  VebTree t(uint64_t{1} << 32);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 2000; i++) {
+    keys.push_back((uint64_t{1} << 31) + static_cast<uint64_t>(i) * 1000003);
+  }
+  t.batch_insert(keys);
+  EXPECT_EQ(t.size(), 2000);
+  auto got = t.range(0, (uint64_t{1} << 32) - 1);
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(got, keys);
+  t.check_invariants();
+}
+
+}  // namespace
+}  // namespace parlis

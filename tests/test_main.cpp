@@ -1,0 +1,16 @@
+// Shared gtest main: pins the worker pool to 4 threads so the parallel code
+// paths are exercised even on single-core CI machines (override with
+// PARLIS_NUM_THREADS).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "parlis/parallel/scheduler.hpp"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (std::getenv("PARLIS_NUM_THREADS") == nullptr) {
+    parlis::set_num_workers(4);
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,230 @@
+// Tests for the fork-join runtime and the parallel primitives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/primitives.hpp"
+#include "parlis/parallel/random.hpp"
+#include "parlis/parallel/scheduler.hpp"
+#include "parlis/util/generators.hpp"
+
+namespace parlis {
+namespace {
+
+TEST(Scheduler, HasWorkers) { EXPECT_GE(num_workers(), 1); }
+
+TEST(Scheduler, ParDoRunsBoth) {
+  int a = 0, b = 0;
+  par_do([&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Scheduler, NestedParDo) {
+  std::atomic<int64_t> sum{0};
+  std::function<void(int, int)> rec = [&](int lo, int hi) {
+    if (hi - lo == 1) {
+      sum.fetch_add(lo);
+      return;
+    }
+    int mid = lo + (hi - lo) / 2;
+    par_do([&] { rec(lo, mid); }, [&] { rec(mid, hi); });
+  };
+  rec(0, 1 << 12);
+  EXPECT_EQ(sum.load(), (int64_t{1} << 11) * ((1 << 12) - 1));
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  constexpr int64_t n = 100000;
+  std::vector<std::atomic<int32_t>> hits(n);
+  parallel_for(0, n, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (int64_t i = 0; i < n; i++) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyAndSingleton) {
+  int calls = 0;
+  parallel_for(5, 5, [&](int64_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(7, 8, [&](int64_t i) {
+    calls++;
+    EXPECT_EQ(i, 7);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Reduce, SumMatchesSequential) {
+  std::vector<int64_t> xs(123457);
+  for (size_t i = 0; i < xs.size(); i++) xs[i] = hash64(1, i) % 1000;
+  int64_t want = std::accumulate(xs.begin(), xs.end(), int64_t{0});
+  EXPECT_EQ(reduce_sum(xs), want);
+}
+
+TEST(Reduce, MaxWithIdentity) {
+  std::vector<int64_t> xs = {-5, -2, -9};
+  int64_t got = reduce(xs, INT64_MIN,
+                       [](int64_t a, int64_t b) { return std::max(a, b); });
+  EXPECT_EQ(got, -2);
+  EXPECT_EQ(reduce(std::vector<int64_t>{}, INT64_MIN,
+                   [](int64_t a, int64_t b) { return std::max(a, b); }),
+            INT64_MIN);
+}
+
+TEST(Scan, ExclusivePlusMatchesSequential) {
+  for (int64_t n : {0, 1, 5, 4096, 4097, 100001}) {
+    std::vector<int64_t> xs(n), want(n);
+    for (int64_t i = 0; i < n; i++) xs[i] = hash64(2, i) % 100;
+    int64_t acc = 0;
+    for (int64_t i = 0; i < n; i++) {
+      want[i] = acc;
+      acc += xs[i];
+    }
+    std::vector<int64_t> got = xs;
+    int64_t total = scan_exclusive(got);
+    EXPECT_EQ(total, acc) << n;
+    EXPECT_EQ(got, want) << n;
+  }
+}
+
+TEST(Scan, LastDefinedMonoid) {
+  // The "copy previous unless defined" scan used by the survivor mappings.
+  constexpr int64_t kUndef = -1;
+  std::vector<int64_t> xs = {kUndef, 3, kUndef, kUndef, 7, kUndef};
+  std::vector<int64_t> out(xs.size());
+  scan_exclusive_index<int64_t>(
+      static_cast<int64_t>(xs.size()), kUndef,
+      [&](int64_t i) { return xs[i]; },
+      [&](int64_t i, int64_t pre) { out[i] = xs[i] == kUndef ? pre : xs[i]; },
+      [](int64_t a, int64_t b) { return b == kUndef ? a : b; });
+  EXPECT_EQ(out, (std::vector<int64_t>{kUndef, 3, 3, 3, 7, 7}));
+}
+
+TEST(Pack, SelectsMatchingIndices) {
+  auto idx = pack_index(10, [](int64_t i) { return i % 3 == 0; });
+  EXPECT_EQ(idx, (std::vector<int64_t>{0, 3, 6, 9}));
+}
+
+TEST(Filter, KeepsOrder) {
+  std::vector<int64_t> xs(50000);
+  for (size_t i = 0; i < xs.size(); i++) xs[i] = hash64(3, i) % 97;
+  auto got = filter(xs, [](int64_t x) { return x % 2 == 0; });
+  std::vector<int64_t> want;
+  for (int64_t x : xs) {
+    if (x % 2 == 0) want.push_back(x);
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(Merge, RandomizedAgainstStdMerge) {
+  for (int trial = 0; trial < 20; trial++) {
+    int64_t na = hash64(4, trial) % 20000;
+    int64_t nb = hash64(5, trial) % 20000;
+    std::vector<int64_t> a(na), b(nb);
+    for (int64_t i = 0; i < na; i++) a[i] = hash64(6, trial * 100000 + i) % 500;
+    for (int64_t i = 0; i < nb; i++) b[i] = hash64(7, trial * 100000 + i) % 500;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<int64_t> got(na + nb), want(na + nb);
+    merge_into(a.begin(), na, b.begin(), nb, got.begin(),
+               std::less<int64_t>{});
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), want.begin());
+    ASSERT_EQ(got, want) << trial;
+  }
+}
+
+TEST(Merge, Stability) {
+  // Pairs (key, origin): on ties, all of a's elements must precede b's.
+  using P = std::pair<int, int>;
+  std::vector<P> a = {{1, 0}, {1, 0}, {2, 0}}, b = {{1, 1}, {2, 1}};
+  std::vector<P> out(5);
+  merge_into(a.begin(), 3, b.begin(), 2, out.begin(),
+             [](const P& x, const P& y) { return x.first < y.first; });
+  EXPECT_EQ(out, (std::vector<P>{{1, 0}, {1, 0}, {1, 1}, {2, 0}, {2, 1}}));
+}
+
+TEST(Sort, RandomizedAgainstStdSort) {
+  for (int64_t n : {0, 1, 2, 1000, 8192, 8193, 300000}) {
+    std::vector<int64_t> xs(n);
+    for (int64_t i = 0; i < n; i++) xs[i] = hash64(8, n * 31 + i);
+    std::vector<int64_t> want = xs;
+    std::sort(want.begin(), want.end());
+    sort_inplace(xs);
+    ASSERT_EQ(xs, want) << n;
+  }
+}
+
+TEST(Sort, StableOnTies) {
+  using P = std::pair<int, int>;
+  std::vector<P> xs(20000);
+  for (size_t i = 0; i < xs.size(); i++) {
+    xs[i] = {static_cast<int>(hash64(9, i) % 50), static_cast<int>(i)};
+  }
+  std::vector<P> want = xs;
+  std::stable_sort(want.begin(), want.end(),
+                   [](const P& x, const P& y) { return x.first < y.first; });
+  sort_inplace(xs, [](const P& x, const P& y) { return x.first < y.first; });
+  EXPECT_EQ(xs, want);
+}
+
+TEST(CountingSort, StableGrouping) {
+  constexpr int64_t n = 100000, buckets = 37;
+  std::vector<int64_t> key(n);
+  for (int64_t i = 0; i < n; i++) key[i] = hash64(10, i) % buckets;
+  auto [order, offsets] = counting_sort_index(
+      n, buckets, [&](int64_t i) { return key[i]; });
+  ASSERT_EQ(offsets.size(), static_cast<size_t>(buckets + 1));
+  EXPECT_EQ(offsets[0], 0);
+  EXPECT_EQ(offsets[buckets], n);
+  for (int64_t b = 0; b < buckets; b++) {
+    for (int64_t t = offsets[b]; t < offsets[b + 1]; t++) {
+      ASSERT_EQ(key[order[t]], b);
+      if (t > offsets[b]) ASSERT_LT(order[t - 1], order[t]);  // stability
+    }
+  }
+}
+
+TEST(Random, DeterministicAndSpread) {
+  EXPECT_EQ(hash64(1, 2), hash64(1, 2));
+  EXPECT_NE(hash64(1, 2), hash64(1, 3));
+  // Chi-squared-lite: buckets should all be populated.
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 16000; i++) counts[uniform(42, i, 16)]++;
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(Generators, RangePatternBounds) {
+  auto a = range_pattern(10000, 7, 1);
+  for (int64_t x : a) {
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 7);
+  }
+}
+
+TEST(Generators, LinePatternCalibration) {
+  // The line pattern's realized LIS length should be within ~2x of target.
+  auto a = line_pattern(100000, 300, 2);
+  // quick sequential LIS length
+  std::vector<int64_t> tails;
+  for (int64_t x : a) {
+    auto it = std::lower_bound(tails.begin(), tails.end(), x);
+    if (it == tails.end()) tails.push_back(x);
+    else if (x < *it) *it = x;
+  }
+  int64_t k = static_cast<int64_t>(tails.size());
+  EXPECT_GT(k, 300 / 3);
+  EXPECT_LT(k, 300 * 3);
+}
+
+TEST(Generators, WeightsInRange) {
+  auto w = uniform_weights(5000, 3);
+  for (int64_t x : w) {
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 1000);
+  }
+}
+
+}  // namespace
+}  // namespace parlis

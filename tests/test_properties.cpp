@@ -1,0 +1,181 @@
+// Large-scale property tests: invariants that hold for *any* correct
+// implementation, checked on inputs far beyond brute-force reach. These are
+// the guards against silent corruption at sizes the unit tests never see.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "parlis/lis/lis.hpp"
+#include "parlis/lis/seq_lis.hpp"
+#include "parlis/parallel/random.hpp"
+#include "parlis/util/generators.hpp"
+#include "parlis/veb/veb_tree.hpp"
+#include "parlis/wlis/seq_avl.hpp"
+#include "parlis/wlis/wlis.hpp"
+
+namespace parlis {
+namespace {
+
+// ---------------------------------------------------------- LIS invariants ---
+
+struct PatternCase {
+  bool line;
+  int64_t n;
+  int64_t k;
+  uint64_t seed;
+};
+
+class LisInvariants : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(LisInvariants, RankTableIsSelfConsistent) {
+  auto [line, n, k, seed] = GetParam();
+  auto a = line ? line_pattern(n, k, seed) : range_pattern(n, k, seed);
+  LisResult r = lis_ranks(a);
+  // (1) ranks in [1, k]; (2) the dp recurrence holds locally: an object of
+  // rank t > 1 must see some earlier smaller object of rank t-1 — checked
+  // via the prefix structure: scanning left to right, min value per rank.
+  std::vector<int64_t> min_of_rank(r.k + 1, INT64_MAX);
+  for (size_t i = 0; i < a.size(); i++) {
+    int32_t t = r.rank[i];
+    ASSERT_GE(t, 1);
+    ASSERT_LE(t, r.k);
+    if (t > 1) {
+      // Lemma 3.1: some rank t-1 object before i has value < a[i].
+      ASSERT_LT(min_of_rank[t - 1], a[i]) << "i=" << i;
+    }
+    // No earlier object of rank >= t may be smaller than a[i] with rank
+    // exactly t... equivalently min value of rank t so far decreases only.
+    min_of_rank[t] = std::min(min_of_rank[t], a[i]);
+  }
+  // (3) k matches the O(n log k) sequential algorithm.
+  ASSERT_EQ(static_cast<int64_t>(r.k), seq_bs_length(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LisInvariants,
+    ::testing::Values(PatternCase{true, 1 << 19, 100, 1},
+                      PatternCase{true, 1 << 19, 10000, 2},
+                      PatternCase{false, 1 << 19, 500, 3},
+                      PatternCase{false, 1 << 19, 60000, 4},
+                      PatternCase{true, (1 << 19) + 7, 1000, 5}));
+
+// --------------------------------------------------------- WLIS invariants ---
+
+class WlisInvariants : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(WlisInvariants, DpTableIsSelfConsistent) {
+  auto [line, n, k, seed] = GetParam();
+  auto a = line ? line_pattern(n, k, seed) : range_pattern(n, k, seed);
+  auto w = uniform_weights(n, seed + 100);
+  WlisResult r = wlis(a, w, WlisStructure::kRangeTree);
+  // Feasibility: dp[i] - w[i] is 0 or achieved by some j < i with
+  // a[j] < a[i] (checked by a left-to-right sweep of the best dp per value
+  // prefix via sorted values — O(n log n) with a Fenwick-free approach:
+  // validate against the sequential recurrence using a running multiset is
+  // overkill; instead verify optimality against Seq-AVL).
+  std::vector<int64_t> ref = seq_avl_wlis(a, w);
+  ASSERT_EQ(r.dp, ref);
+  // dp lower bounds: dp[i] >= w[i] (weights positive here).
+  for (int64_t i = 0; i < n; i++) ASSERT_GE(r.dp[i], w[i]);
+  // The reconstruction must realize r.best exactly.
+  auto seq = wlis_sequence(a, w, r);
+  int64_t total = 0;
+  for (size_t t = 0; t < seq.size(); t++) {
+    total += w[seq[t]];
+    if (t > 0) {
+      ASSERT_LT(seq[t - 1], seq[t]);
+      ASSERT_LT(a[seq[t - 1]], a[seq[t]]);
+    }
+  }
+  ASSERT_EQ(total, r.best);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WlisInvariants,
+    ::testing::Values(PatternCase{true, 60000, 50, 11},
+                      PatternCase{true, 60000, 2000, 12},
+                      PatternCase{false, 60000, 300, 13}));
+
+// ---------------------------------------------------------- vEB invariants ---
+
+TEST(VebProperties, BatchOpsCommuteWithPointOps) {
+  // Applying the same multiset of operations via batches or via points must
+  // produce the same set — checked through repeated randomized epochs.
+  const uint64_t universe = 1 << 18;
+  VebTree batch_tree(universe), point_tree(universe);
+  for (int epoch = 0; epoch < 25; epoch++) {
+    std::vector<uint64_t> ins, del;
+    for (int i = 0; i < 400; i++) {
+      ins.push_back(uniform(500 + epoch, i, universe));
+      del.push_back(uniform(900 + epoch, i, universe));
+    }
+    std::sort(ins.begin(), ins.end());
+    ins.erase(std::unique(ins.begin(), ins.end()), ins.end());
+    std::sort(del.begin(), del.end());
+    del.erase(std::unique(del.begin(), del.end()), del.end());
+    batch_tree.batch_insert(ins);
+    for (uint64_t x : ins) point_tree.insert(x);
+    batch_tree.batch_delete(del);
+    for (uint64_t x : del) point_tree.erase(x);
+    ASSERT_EQ(batch_tree.size(), point_tree.size()) << epoch;
+    ASSERT_EQ(batch_tree.range(0, universe - 1),
+              point_tree.range(0, universe - 1))
+        << epoch;
+    batch_tree.check_invariants();
+  }
+}
+
+TEST(VebProperties, PredSuccAreInverse) {
+  VebTree t(1 << 16);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 3000; i++) keys.push_back(uniform(77, i, 1 << 16));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  t.batch_insert(keys);
+  // succ(pred(x)) and pred(succ(x)) round-trip through neighbouring keys.
+  for (size_t i = 1; i + 1 < keys.size(); i++) {
+    EXPECT_EQ(*t.succ_gt(*t.pred_lt(keys[i])), keys[i]);
+    EXPECT_EQ(*t.pred_lt(*t.succ_gt(keys[i])), keys[i]);
+    EXPECT_EQ(*t.pred_leq(keys[i]), keys[i]);
+    EXPECT_EQ(*t.succ_geq(keys[i]), keys[i]);
+  }
+}
+
+TEST(VebProperties, RangeConcatenationCoversWholeSet) {
+  // Splitting [0, U) into arbitrary windows and concatenating the range
+  // results must reproduce the full sorted key set.
+  const uint64_t universe = 1 << 20;
+  VebTree t(universe);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 50000; i++) keys.push_back(uniform(88, i, universe));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  t.batch_insert(keys);
+  std::vector<uint64_t> concat;
+  uint64_t lo = 0;
+  for (int w = 1; lo < universe; w++) {
+    uint64_t hi = std::min<uint64_t>(universe - 1, lo + w * w * 997);
+    auto part = t.range(lo, hi);
+    concat.insert(concat.end(), part.begin(), part.end());
+    lo = hi + 1;
+  }
+  EXPECT_EQ(concat, keys);
+}
+
+// ------------------------------------------------------ cross-structure ---
+
+TEST(CrossStructure, ThreeWlisStructuresAgreeAtScale) {
+  auto a = line_pattern(50000, 400, 21);
+  auto w = uniform_weights(a.size(), 22);
+  WlisResult t1 = wlis(a, w, WlisStructure::kRangeTree);
+  WlisResult t2 = wlis(a, w, WlisStructure::kRangeVeb);
+  WlisResult t3 = wlis(a, w, WlisStructure::kRangeVebTabulated);
+  ASSERT_EQ(t1.dp, t2.dp);
+  ASSERT_EQ(t1.dp, t3.dp);
+  ASSERT_EQ(t1.best, t2.best);
+  ASSERT_EQ(t1.best, t3.best);
+}
+
+}  // namespace
+}  // namespace parlis

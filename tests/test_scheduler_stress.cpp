@@ -1,0 +1,125 @@
+// Stress tests for the work-stealing runtime: deep nesting, irregular task
+// trees, reentrancy from stolen tasks, heavy join contention, and the
+// sequential-mode switch — the failure modes of help-first schedulers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/primitives.hpp"
+#include "parlis/parallel/random.hpp"
+#include "parlis/parallel/scheduler.hpp"
+
+namespace parlis {
+namespace {
+
+// Unbalanced recursion: left branch much deeper than the right, so joins
+// routinely find their child stolen and must help.
+int64_t skewed_sum(int64_t lo, int64_t hi) {
+  if (hi - lo <= 4) {
+    int64_t s = 0;
+    for (int64_t i = lo; i < hi; i++) s += i;
+    return s;
+  }
+  int64_t cut = lo + std::max<int64_t>(1, (hi - lo) / 8);  // 1:7 split
+  int64_t a = 0, b = 0;
+  par_do([&] { a = skewed_sum(lo, cut); }, [&] { b = skewed_sum(cut, hi); });
+  return a + b;
+}
+
+TEST(SchedulerStress, SkewedTaskTree) {
+  int64_t n = 200000;
+  EXPECT_EQ(skewed_sum(0, n), n * (n - 1) / 2);
+}
+
+TEST(SchedulerStress, ManySmallRegions) {
+  // Thousands of tiny parallel regions in sequence: pool wake/sleep churn.
+  std::atomic<int64_t> total{0};
+  for (int rep = 0; rep < 3000; rep++) {
+    par_do([&] { total.fetch_add(1, std::memory_order_relaxed); },
+           [&] { total.fetch_add(2, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(total.load(), 3 * 3000);
+}
+
+TEST(SchedulerStress, NestedParallelForInsideParDo) {
+  std::vector<std::atomic<int32_t>> hits(50000);
+  par_do(
+      [&] {
+        parallel_for(0, 25000, [&](int64_t i) { hits[i].fetch_add(1); });
+      },
+      [&] {
+        parallel_for(25000, 50000, [&](int64_t i) { hits[i].fetch_add(1); });
+      });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(SchedulerStress, DeepRecursionDoesNotLoseTasks) {
+  // A 2^16-leaf balanced tree of par_dos; every leaf must run exactly once.
+  constexpr int kDepth = 16;
+  std::vector<std::atomic<int8_t>> leaf(1 << kDepth);
+  std::function<void(int64_t, int)> rec = [&](int64_t id, int depth) {
+    if (depth == kDepth) {
+      leaf[id].fetch_add(1);
+      return;
+    }
+    par_do([&] { rec(2 * id, depth + 1); },
+           [&] { rec(2 * id + 1, depth + 1); });
+  };
+  rec(0, 0);
+  for (auto& l : leaf) ASSERT_EQ(l.load(), 1);
+}
+
+TEST(SchedulerStress, SequentialModeIsExact) {
+  // In sequential mode everything runs on the calling thread, in order.
+  bool prev = set_sequential_mode(true);
+  int me = worker_id();
+  std::vector<int> order;
+  par_do([&] { order.push_back(1); EXPECT_EQ(worker_id(), me); },
+         [&] { order.push_back(2); EXPECT_EQ(worker_id(), me); });
+  parallel_for(0, 5, [&](int64_t i) {
+    order.push_back(static_cast<int>(10 + i));
+    EXPECT_EQ(worker_id(), me);
+  });
+  set_sequential_mode(prev);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 10, 11, 12, 13, 14}));
+}
+
+TEST(SchedulerStress, MixedPrimitivesUnderLoad) {
+  // Sort + scan + filter interleaved in parallel branches; results must be
+  // independent of scheduling.
+  std::vector<int64_t> data(120000);
+  for (size_t i = 0; i < data.size(); i++) data[i] = hash64(90, i) % 10000;
+  std::vector<int64_t> sorted_copy, evens;
+  int64_t sum = 0;
+  par_do(
+      [&] {
+        sorted_copy = data;
+        sort_inplace(sorted_copy);
+      },
+      [&] {
+        par_do([&] { evens = filter(data, [](int64_t x) { return x % 2 == 0; }); },
+               [&] { sum = reduce_sum(data); });
+      });
+  EXPECT_TRUE(std::is_sorted(sorted_copy.begin(), sorted_copy.end()));
+  EXPECT_EQ(sum, std::accumulate(data.begin(), data.end(), int64_t{0}));
+  int64_t even_count = 0;
+  for (int64_t x : data) even_count += (x % 2 == 0);
+  EXPECT_EQ(static_cast<int64_t>(evens.size()), even_count);
+}
+
+TEST(SchedulerStress, GrainExtremes) {
+  // grain = 1 (max task count) and grain = n (fully sequential) both cover
+  // every index exactly once.
+  for (int64_t grain : {int64_t{1}, int64_t{1 << 20}}) {
+    std::vector<std::atomic<int32_t>> hits(20000);
+    parallel_for(0, 20000, [&](int64_t i) { hits[i].fetch_add(1); }, grain);
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace parlis

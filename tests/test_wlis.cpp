@@ -1,0 +1,315 @@
+// Tests for the dominant-max structures (range tree, Range-vEB), the WLIS
+// driver (Alg. 2/3), the Seq-AVL baseline, and the SWGS dominance oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "parlis/lis/seq_lis.hpp"
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/random.hpp"
+#include "parlis/swgs/dominance_oracle.hpp"
+#include "parlis/swgs/swgs.hpp"
+#include "parlis/util/generators.hpp"
+#include "parlis/wlis/range_tree.hpp"
+#include "parlis/wlis/range_veb.hpp"
+#include "parlis/wlis/seq_avl.hpp"
+#include "parlis/wlis/wlis.hpp"
+
+namespace parlis {
+namespace {
+
+// ----------------------------------------------------- dominant-max units ---
+
+// Brute-force dominant-max over explicit points.
+struct BrutePoints {
+  // (pos, y, score)
+  std::vector<std::tuple<int64_t, int64_t, int64_t>> pts;
+  int64_t dominant_max(int64_t qpos, int64_t qy) const {
+    int64_t best = 0;
+    for (auto& [p, y, s] : pts) {
+      if (p < qpos && y < qy) best = std::max(best, s);
+    }
+    return best;
+  }
+};
+
+template <typename Struct, typename UpdateOne>
+void randomized_dominant_max_test(uint64_t seed, const UpdateOne& update_one) {
+  int64_t n = 300 + static_cast<int64_t>(hash64(seed, 0) % 500);
+  // y_by_pos = random permutation of [0, n)
+  std::vector<int64_t> ys(n);
+  for (int64_t i = 0; i < n; i++) ys[i] = i;
+  for (int64_t i = n - 1; i > 0; i--) {
+    std::swap(ys[i], ys[uniform(seed + 1, i, i + 1)]);
+  }
+  Struct rs(ys);
+  BrutePoints ref;
+  for (int round = 0; round < 20; round++) {
+    // update a random subset of fresh positions
+    std::vector<int64_t> fresh;
+    for (int64_t p = 0; p < n; p++) {
+      bool used = false;
+      for (auto& [q, y, s] : ref.pts) used |= (q == p);
+      if (!used && hash64(seed + 2, round * n + p) % 10 == 0) {
+        fresh.push_back(p);
+      }
+    }
+    // batch must be sorted by y for RangeVeb
+    std::sort(fresh.begin(), fresh.end(),
+              [&](int64_t a, int64_t b) { return ys[a] < ys[b]; });
+    for (int64_t p : fresh) {
+      int64_t score = 1 + static_cast<int64_t>(
+                              hash64(seed + 3, round * n + p) % 1000);
+      ref.pts.push_back({p, ys[p], score});
+    }
+    update_one(rs, fresh, ref);
+    for (int q = 0; q < 100; q++) {
+      int64_t qpos = static_cast<int64_t>(uniform(seed + 4, round * 100 + q,
+                                                  static_cast<uint64_t>(n + 1)));
+      int64_t qy = static_cast<int64_t>(uniform(seed + 5, round * 100 + q,
+                                                static_cast<uint64_t>(n + 1)));
+      ASSERT_EQ(rs.dominant_max(qpos, qy), ref.dominant_max(qpos, qy))
+          << "qpos=" << qpos << " qy=" << qy << " round=" << round;
+    }
+  }
+}
+
+class DominantMaxRandomized : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DominantMaxRandomized, RangeTreeMatchesBruteForce) {
+  randomized_dominant_max_test<RangeTreeMax>(
+      GetParam(), [](RangeTreeMax& rs, const std::vector<int64_t>& fresh,
+                     const BrutePoints& ref) {
+        for (int64_t p : fresh) {
+          for (auto& [q, y, s] : ref.pts) {
+            if (q == p) rs.update(p, s);
+          }
+        }
+      });
+}
+
+TEST_P(DominantMaxRandomized, RangeVebMatchesBruteForce) {
+  randomized_dominant_max_test<RangeVeb>(
+      GetParam(), [](RangeVeb& rs, const std::vector<int64_t>& fresh,
+                     const BrutePoints& ref) {
+        std::vector<RangeVeb::Item> batch;
+        for (int64_t p : fresh) {
+          for (auto& [q, y, s] : ref.pts) {
+            if (q == p) batch.push_back({p, s});
+          }
+        }
+        rs.update(batch);
+        rs.check();
+      });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominantMaxRandomized,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(RangeTree, EmptyAndTinyInputs) {
+  RangeTreeMax rt0((std::vector<int64_t>{}));
+  EXPECT_EQ(rt0.dominant_max(0, 0), 0);
+  RangeTreeMax rt1((std::vector<int64_t>{0}));
+  EXPECT_EQ(rt1.dominant_max(1, 1), 0);
+  rt1.update(0, 42);
+  EXPECT_EQ(rt1.dominant_max(1, 1), 42);
+  EXPECT_EQ(rt1.dominant_max(0, 1), 0);
+  EXPECT_EQ(rt1.dominant_max(1, 0), 0);
+}
+
+// ------------------------------------------------------------------- WLIS ---
+
+struct WlisCase {
+  int64_t n;
+  int64_t value_range;
+  uint64_t seed;
+};
+
+class WlisRandomized : public ::testing::TestWithParam<WlisCase> {};
+
+TEST_P(WlisRandomized, AllFourImplementationsAgree) {
+  auto [n, range, seed] = GetParam();
+  std::vector<int64_t> a(n), w(n);
+  for (int64_t i = 0; i < n; i++) {
+    a[i] = static_cast<int64_t>(uniform(seed, i, range));
+    w[i] = 1 + static_cast<int64_t>(uniform(seed + 1, i, 500));
+  }
+  std::vector<int64_t> brute = brute_wlis_dp(a, w);
+  WlisResult tree = wlis(a, w, WlisStructure::kRangeTree);
+  WlisResult veb = wlis(a, w, WlisStructure::kRangeVeb);
+  WlisResult tab = wlis(a, w, WlisStructure::kRangeVebTabulated);
+  std::vector<int64_t> avl = seq_avl_wlis(a, w);
+  SwgsWlisResult sw = swgs_wlis(a, w, seed);
+  EXPECT_EQ(tree.dp, brute);
+  EXPECT_EQ(veb.dp, brute);
+  EXPECT_EQ(tab.dp, brute);
+  EXPECT_EQ(avl, brute);
+  EXPECT_EQ(sw.dp, brute);
+  int64_t best = 0;
+  for (int64_t d : brute) best = std::max(best, d);
+  EXPECT_EQ(tree.best, best);
+  EXPECT_EQ(veb.best, best);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WlisRandomized,
+    ::testing::Values(WlisCase{1, 1, 1}, WlisCase{2, 2, 2},
+                      WlisCase{50, 4, 3}, WlisCase{200, 200, 4},
+                      WlisCase{500, 10, 5}, WlisCase{1000, 100000, 6},
+                      WlisCase{1500, 60, 7}));
+
+TEST(Wlis, NegativeWeightsClampAtZero) {
+  // Eq. (2): dp[i] = w_i + max(0, best); negative dp never propagates.
+  std::vector<int64_t> a = {1, 2, 3, 4};
+  std::vector<int64_t> w = {-5, 10, -100, 1};
+  auto brute = brute_wlis_dp(a, w);
+  EXPECT_EQ(wlis(a, w, WlisStructure::kRangeTree).dp, brute);
+  EXPECT_EQ(wlis(a, w, WlisStructure::kRangeVeb).dp, brute);
+  EXPECT_EQ(seq_avl_wlis(a, w), brute);
+  EXPECT_EQ(brute, (std::vector<int64_t>{-5, 10, -90, 11}));
+}
+
+TEST(Wlis, UnitWeightsReduceToLis) {
+  auto a = range_pattern(3000, 40, 8);
+  std::vector<int64_t> ones(a.size(), 1);
+  WlisResult r = wlis(a, ones, WlisStructure::kRangeTree);
+  auto ranks = seq_bs_ranks(a);
+  for (size_t i = 0; i < a.size(); i++) {
+    ASSERT_EQ(r.dp[i], ranks[i]) << i;
+  }
+}
+
+TEST(Wlis, DuplicateValuesCannotChain) {
+  std::vector<int64_t> a = {5, 5, 5};
+  std::vector<int64_t> w = {3, 4, 2};
+  auto r = wlis(a, w, WlisStructure::kRangeTree);
+  EXPECT_EQ(r.dp, (std::vector<int64_t>{3, 4, 2}));
+  EXPECT_EQ(r.best, 4);
+  auto rv = wlis(a, w, WlisStructure::kRangeVeb);
+  EXPECT_EQ(rv.dp, r.dp);
+}
+
+TEST(Wlis, LinePatternMediumAgreesWithSeqAvl) {
+  auto a = line_pattern(50000, 100, 9);
+  auto w = uniform_weights(a.size(), 10);
+  WlisResult tree = wlis(a, w, WlisStructure::kRangeTree);
+  EXPECT_EQ(tree.dp, seq_avl_wlis(a, w));
+}
+
+TEST(Wlis, RangeVebMediumAgreesWithSeqAvl) {
+  auto a = line_pattern(20000, 60, 11);
+  auto w = uniform_weights(a.size(), 12);
+  WlisResult veb = wlis(a, w, WlisStructure::kRangeVeb);
+  EXPECT_EQ(veb.dp, seq_avl_wlis(a, w));
+}
+
+TEST(Wlis, TabulatedLabelsMatchBinarySearchOnDuplicates) {
+  // Appendix E tables must agree with the binary-search labels, including
+  // with duplicate values (qpos = run start, not the point's own position).
+  auto a = range_pattern(30000, 50, 13);  // heavy duplication
+  auto w = uniform_weights(a.size(), 14);
+  WlisResult veb = wlis(a, w, WlisStructure::kRangeVeb);
+  WlisResult tab = wlis(a, w, WlisStructure::kRangeVebTabulated);
+  EXPECT_EQ(tab.dp, veb.dp);
+  EXPECT_EQ(tab.best, veb.best);
+}
+
+TEST(Wlis, GiantEqualValueRunCrossesScanBlocks) {
+  // Regression: qpos uses a blocked "last defined" scan; a single value run
+  // longer than one scan block must keep its run start (identity must be
+  // the transparent marker, not position 0).
+  int64_t n = 20000;
+  std::vector<int64_t> a(n), w(n, 1);
+  for (int64_t i = 0; i < n; i++) {
+    a[i] = i < 1000 ? i : 5000000;  // 19000-long equal run
+  }
+  auto brute = brute_wlis_dp(a, w);
+  EXPECT_EQ(wlis(a, w, WlisStructure::kRangeTree).dp, brute);
+  EXPECT_EQ(wlis(a, w, WlisStructure::kRangeVeb).dp, brute);
+}
+
+TEST(WlisSequence, ValidChainWithMaxWeight) {
+  for (uint64_t seed = 0; seed < 6; seed++) {
+    int64_t n = 100 + static_cast<int64_t>(hash64(70, seed) % 1000);
+    std::vector<int64_t> a(n), w(n);
+    for (int64_t i = 0; i < n; i++) {
+      a[i] = static_cast<int64_t>(uniform(seed + 71, i, 200));
+      w[i] = 1 + static_cast<int64_t>(uniform(seed + 72, i, 50));
+    }
+    WlisResult r = wlis(a, w);
+    std::vector<int64_t> seq = wlis_sequence(a, w, r);
+    ASSERT_FALSE(seq.empty());
+    int64_t total = 0;
+    for (size_t t = 0; t < seq.size(); t++) {
+      total += w[seq[t]];
+      if (t > 0) {
+        ASSERT_LT(seq[t - 1], seq[t]);
+        ASSERT_LT(a[seq[t - 1]], a[seq[t]]);
+      }
+    }
+    ASSERT_EQ(total, r.best) << seed;
+  }
+}
+
+TEST(WlisSequence, NegativeWeightsPickOnlyProfitableTail) {
+  std::vector<int64_t> a = {1, 2, 3};
+  std::vector<int64_t> w = {-10, 5, 2};
+  WlisResult r = wlis(a, w);
+  EXPECT_EQ(r.best, 7);  // 5 + 2, skipping the -10 head
+  auto seq = wlis_sequence(a, w, r);
+  EXPECT_EQ(seq, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(WlisSequence, SingleElement) {
+  std::vector<int64_t> a = {5};
+  std::vector<int64_t> w = {3};
+  WlisResult r = wlis(a, w);
+  EXPECT_EQ(wlis_sequence(a, w, r), (std::vector<int64_t>{0}));
+}
+
+// ------------------------------------------------------- dominance oracle ---
+
+TEST(DominanceOracle, CountAndKthMatchBruteForce) {
+  for (uint64_t seed = 0; seed < 4; seed++) {
+    int64_t n = 200 + static_cast<int64_t>(hash64(30, seed) % 300);
+    std::vector<int64_t> a(n);
+    for (int64_t i = 0; i < n; i++) a[i] = hash64(31, seed * 10000 + i) % 60;
+    DominanceOracle oracle(a);
+    std::vector<bool> alive(n, true);
+    for (int round = 0; round < 20; round++) {
+      for (int64_t i = 0; i < n; i++) {
+        std::vector<int64_t> doms;
+        for (int64_t j = 0; j < i; j++) {
+          if (alive[j] && a[j] < a[i]) doms.push_back(j);
+        }
+        ASSERT_EQ(oracle.count_dominators(i), static_cast<int64_t>(doms.size()))
+            << "i=" << i;
+        if (!doms.empty()) {
+          // kth walks blocks by (value, index); check it returns *a* valid
+          // dominator for a few ranks, and all ranks produce distinct ones.
+          std::vector<int64_t> got;
+          for (int64_t r = 1; r <= static_cast<int64_t>(doms.size()); r++) {
+            int64_t j = oracle.kth_dominator(i, r);
+            ASSERT_TRUE(alive[j]);
+            ASSERT_LT(j, i);
+            ASSERT_LT(a[j], a[i]);
+            got.push_back(j);
+          }
+          std::sort(got.begin(), got.end());
+          ASSERT_EQ(got, doms) << "i=" << i;
+        }
+      }
+      // kill a random eighth of the survivors
+      for (int64_t i = 0; i < n; i++) {
+        if (alive[i] && hash64(32, seed * 1000 + round * n + i) % 8 == 0) {
+          alive[i] = false;
+          oracle.erase(i);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parlis
