@@ -1,10 +1,11 @@
 // Ablation (DESIGN.md): the two WLIS dominant-max structures — range tree
 // (Sec. 4.1, O(n log^2 n)) vs Range-vEB (Sec. 4.2, O(n log n log log n)) —
 // plus the effect of the frontier-batched update versus per-point updates.
-// Flags: --n, --maxk, --threads, --reps.
+// Flags: --n, --maxk, --threads, --reps, --out FILE (JSON records).
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "parlis/util/generators.hpp"
 #include "parlis/wlis/wlis.hpp"
 
@@ -20,17 +21,30 @@ int main(int argc, char** argv) {
   std::printf("ablation: WLIS RangeStruct comparison, n=%lld, threads=%d\n",
               static_cast<long long>(n), num_workers());
 
+  BenchJson json(flags.get_str("out", ""));
   SeriesTable table({"range_tree", "range_veb"});
   auto w = uniform_weights(n, 31);
   for (int64_t target_k : k_sweep(maxk, 5.5)) {
     auto a = line_pattern(n, target_k, 29 + target_k);
     volatile int64_t sink = 0;
     WlisResult probe = wlis(a, w, WlisStructure::kRangeTree);
-    double t_tree = time_best_of(
+    double t_tree = time_median_of(
         reps, [&] { sink = sink + wlis(a, w, WlisStructure::kRangeTree).best; });
-    double t_veb = time_best_of(
+    double t_veb = time_median_of(
         reps, [&] { sink = sink + wlis(a, w, WlisStructure::kRangeVeb).best; });
     table.add_row(probe.k, {t_tree, t_veb});
+    const char* series[] = {"range_tree", "range_veb"};
+    double times[] = {t_tree, t_veb};
+    for (int si = 0; si < 2; si++) {
+      json.add(JsonRecord()
+                   .field("bench", "ablation_rangestruct")
+                   .field("op", "wlis")
+                   .field("series", series[si])
+                   .field("n", n)
+                   .field("k", probe.k)
+                   .field("threads", num_workers())
+                   .field("median_ms", times[si] * 1e3));
+    }
     std::fflush(stdout);
   }
   table.print("Ablation: WLIS dominant-max structure — seconds vs k");

@@ -6,11 +6,12 @@
 //    regardless of k (each probe costs O(log^2 n) on the oracle, which is
 //    where the O(n log^3 n) total work comes from).
 //
-// Flags: --n, --maxk, --threads.
+// Flags: --n, --maxk, --threads, --out FILE (JSON records).
 #include <cmath>
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "parlis/lis/tournament_tree.hpp"
 #include "parlis/swgs/swgs.hpp"
 #include "parlis/util/generators.hpp"
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(n), static_cast<long long>(swgs_n),
               num_workers());
 
+  BenchJson json(flags.get_str("out", ""));
   std::printf("\n%10s  %14s  %14s  %14s  %16s\n", "k", "visits/n",
               "log2(k+1)", "visits/nlog2k", "swgs probes/n");
   for (int64_t target_k : k_sweep(maxk)) {
@@ -48,6 +50,15 @@ int main(int argc, char** argv) {
     std::printf("%10lld  %14.2f  %14.2f  %14.2f  %16.2f\n",
                 static_cast<long long>(k), per_elem, logk, per_elem / logk,
                 probes);
+    json.add(JsonRecord()
+                 .field("bench", "ablation_workbound")
+                 .field("op", "extract_frontier_all_rounds")
+                 .field("n", n)
+                 .field("k", k)
+                 .field("threads", num_workers())
+                 .field("nodes_visited", t.nodes_visited())
+                 .field("visits_per_n_logk", per_elem / logk)
+                 .field("swgs_probes_per_n", probes));
     std::fflush(stdout);
   }
   std::printf(

@@ -2,6 +2,7 @@
 // timing, and aligned table/CSV output matching the series the paper plots.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -15,23 +16,21 @@
 
 namespace parlis::bench {
 
-/// Minimal --key value / --key=value flag parser.
+/// Minimal --key value / --key=value flag parser. Numeric values go through
+/// strtoll with auto base, so negatives ("--lo=-5") and hex ("--mask=0xff")
+/// work in both spellings.
 class Flags {
  public:
   Flags(int argc, char** argv) {
     for (int i = 1; i < argc; i++) args_.push_back(argv[i]);
   }
   int64_t get(const std::string& key, int64_t def) const {
-    std::string k = "--" + key;
-    for (size_t i = 0; i < args_.size(); i++) {
-      if (args_[i] == k && i + 1 < args_.size()) {
-        return std::atoll(args_[i + 1].c_str());
-      }
-      if (args_[i].rfind(k + "=", 0) == 0) {
-        return std::atoll(args_[i].c_str() + k.size() + 1);
-      }
-    }
-    return def;
+    const std::string* v = find(key);
+    return v ? std::strtoll(v->c_str(), nullptr, 0) : def;
+  }
+  std::string get_str(const std::string& key, const std::string& def) const {
+    const std::string* v = find(key);
+    return v ? *v : def;
   }
   bool has(const std::string& key) const {
     std::string k = "--" + key;
@@ -42,10 +41,24 @@ class Flags {
   }
 
  private:
+  // Value of --key VALUE or --key=VALUE (first occurrence), else nullptr.
+  const std::string* find(const std::string& key) const {
+    std::string k = "--" + key;
+    for (size_t i = 0; i < args_.size(); i++) {
+      if (args_[i] == k && i + 1 < args_.size()) return &args_[i + 1];
+      if (args_[i].rfind(k + "=", 0) == 0) {
+        eq_value_ = args_[i].substr(k.size() + 1);
+        return &eq_value_;
+      }
+    }
+    return nullptr;
+  }
+
   std::vector<std::string> args_;
+  mutable std::string eq_value_;  // backing storage for --key=value results
 };
 
-/// Median-of-reps wall-clock time of fn (warm-up excluded when reps > 1).
+/// Best-of-reps wall-clock time of fn (warm-up excluded when reps > 1).
 inline double time_best_of(int reps, const std::function<void()>& fn) {
   double best = 1e100;
   for (int r = 0; r < reps; r++) {
@@ -54,6 +67,20 @@ inline double time_best_of(int reps, const std::function<void()>& fn) {
     best = std::min(best, t.elapsed());
   }
   return best;
+}
+
+/// Median-of-reps wall-clock time of fn — the robust statistic the
+/// BENCH_*.json records report. Uses the lower middle for even rep counts,
+/// so a 2-rep smoke reports the warmer run rather than the cold-cache one.
+inline double time_median_of(int reps, const std::function<void()>& fn) {
+  std::vector<double> ts(reps > 0 ? reps : 1, 0.0);
+  for (double& t : ts) {
+    Timer timer;
+    fn();
+    t = timer.elapsed();
+  }
+  std::sort(ts.begin(), ts.end());
+  return ts[(ts.size() - 1) / 2];
 }
 
 /// Accumulates and prints a "k, series..." table + CSV (the paper's plots
@@ -104,10 +131,11 @@ class SeriesTable {
   std::vector<std::pair<int64_t, std::vector<double>>> rows_;
 };
 
-/// Runs fn with the pool forced into sequential (one-thread) execution.
+/// Runs fn with the pool forced into sequential (one-thread) execution
+/// (median of reps, like the parallel series it is compared against).
 inline double timed_sequential(int reps, const std::function<void()>& fn) {
   bool prev = set_sequential_mode(true);
-  double t = time_best_of(reps, fn);
+  double t = time_median_of(reps, fn);
   set_sequential_mode(prev);
   return t;
 }

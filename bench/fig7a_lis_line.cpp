@@ -1,10 +1,11 @@
 // Figure 7(a): LIS running time vs LIS length k, *line pattern*.
 // Series: Seq-BS, SWGS, Ours (seq), Ours.   Paper setup: n = 10^8, 96 cores.
 // Default here: n = 10^6 (scaled for the reproduction machine; see
-// EXPERIMENTS.md). Flags: --n, --maxk, --swgsmaxk, --threads, --reps.
+// EXPERIMENTS.md). Flags: --n, --maxk, --swgsmaxk, --threads, --reps, --out FILE (JSON records).
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "parlis/lis/lis.hpp"
 #include "parlis/lis/seq_lis.hpp"
 #include "parlis/swgs/swgs.hpp"
@@ -23,19 +24,34 @@ int main(int argc, char** argv) {
   std::printf("fig7a: LIS, line pattern, n=%lld, threads=%d\n",
               static_cast<long long>(n), num_workers());
 
+  BenchJson json(flags.get_str("out", ""));
   SeriesTable table({"seq_bs", "swgs", "ours_seq", "ours"});
   for (int64_t target_k : k_sweep(maxk)) {
     auto a = line_pattern(n, target_k, 7 + target_k);
     volatile int64_t sink = 0;
-    double t_bs = time_best_of(reps, [&] { sink = sink + seq_bs_length(a); });
+    double t_bs = time_median_of(reps, [&] { sink = sink + seq_bs_length(a); });
     int64_t k = seq_bs_length(a);  // realized LIS length
     double t_swgs = -1;
     if (target_k <= swgs_maxk) {
-      t_swgs = time_best_of(reps, [&] { sink = sink + swgs_lis_ranks(a).k; });
+      t_swgs = time_median_of(reps, [&] { sink = sink + swgs_lis_ranks(a).k; });
     }
     double t_seq = timed_sequential(reps, [&] { sink = sink + lis_ranks(a).k; });
-    double t_par = time_best_of(reps, [&] { sink = sink + lis_ranks(a).k; });
+    double t_par = time_median_of(reps, [&] { sink = sink + lis_ranks(a).k; });
     table.add_row(k, {t_bs, t_swgs, t_seq, t_par});
+    const char* series[] = {"seq_bs", "swgs", "ours_seq", "ours"};
+    double times[] = {t_bs, t_swgs, t_seq, t_par};
+    for (int si = 0; si < 4; si++) {
+      if (times[si] < 0) continue;
+      json.add(JsonRecord()
+                   .field("bench", "fig7a")
+                   .field("op", "lis_ranks")
+                   .field("series", series[si])
+                   .field("pattern", "line")
+                   .field("n", n)
+                   .field("k", k)
+                   .field("threads", si == 0 || si == 2 ? 1 : num_workers())
+                   .field("median_ms", times[si] * 1e3));
+    }
     std::printf("  k=%lld done\n", static_cast<long long>(k));
     std::fflush(stdout);
   }

@@ -1,10 +1,11 @@
 // Figure 7(b): LIS running time vs k, line pattern, the paper's largest
 // input (n = 10^9; scaled default n = 4*10^6 here). Series: Seq-BS,
 // Ours (seq), Ours — SWGS is excluded exactly as in the paper (it ran out
-// of memory at this scale). Flags: --n, --maxk, --threads, --reps.
+// of memory at this scale). Flags: --n, --maxk, --threads, --reps, --out FILE (JSON records).
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "parlis/lis/lis.hpp"
 #include "parlis/lis/seq_lis.hpp"
 #include "parlis/util/generators.hpp"
@@ -21,15 +22,29 @@ int main(int argc, char** argv) {
   std::printf("fig7b: LIS, line pattern (large), n=%lld, threads=%d\n",
               static_cast<long long>(n), num_workers());
 
+  BenchJson json(flags.get_str("out", ""));
   SeriesTable table({"seq_bs", "ours_seq", "ours"});
   for (int64_t target_k : k_sweep(maxk)) {
     auto a = line_pattern(n, target_k, 11 + target_k);
     volatile int64_t sink = 0;
-    double t_bs = time_best_of(reps, [&] { sink = sink + seq_bs_length(a); });
+    double t_bs = time_median_of(reps, [&] { sink = sink + seq_bs_length(a); });
     int64_t k = seq_bs_length(a);
     double t_seq = timed_sequential(reps, [&] { sink = sink + lis_ranks(a).k; });
-    double t_par = time_best_of(reps, [&] { sink = sink + lis_ranks(a).k; });
+    double t_par = time_median_of(reps, [&] { sink = sink + lis_ranks(a).k; });
     table.add_row(k, {t_bs, t_seq, t_par});
+    const char* series[] = {"seq_bs", "ours_seq", "ours"};
+    double times[] = {t_bs, t_seq, t_par};
+    for (int si = 0; si < 3; si++) {
+      json.add(JsonRecord()
+                   .field("bench", "fig7b")
+                   .field("op", "lis_ranks")
+                   .field("series", series[si])
+                   .field("pattern", "line")
+                   .field("n", n)
+                   .field("k", k)
+                   .field("threads", si == 2 ? num_workers() : 1)
+                   .field("median_ms", times[si] * 1e3));
+    }
     std::printf("  k=%lld done\n", static_cast<long long>(k));
     std::fflush(stdout);
   }

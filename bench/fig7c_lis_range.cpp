@@ -1,10 +1,11 @@
 // Figure 7(c): LIS running time vs k, *range pattern* (A_i uniform in
 // [1, k']), paper setup n = 10^9 with k' in [1, 6*10^4]; scaled default
 // n = 4*10^6. Series: Seq-BS, Ours (seq), Ours.
-// Flags: --n, --maxk, --threads, --reps.
+// Flags: --n, --maxk, --threads, --reps, --out FILE (JSON records).
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "parlis/lis/lis.hpp"
 #include "parlis/lis/seq_lis.hpp"
 #include "parlis/util/generators.hpp"
@@ -21,15 +22,29 @@ int main(int argc, char** argv) {
   std::printf("fig7c: LIS, range pattern, n=%lld, threads=%d\n",
               static_cast<long long>(n), num_workers());
 
+  BenchJson json(flags.get_str("out", ""));
   SeriesTable table({"seq_bs", "ours_seq", "ours"});
   for (int64_t kprime : k_sweep(maxk)) {
     auto a = range_pattern(n, kprime, 13 + kprime);
     volatile int64_t sink = 0;
-    double t_bs = time_best_of(reps, [&] { sink = sink + seq_bs_length(a); });
+    double t_bs = time_median_of(reps, [&] { sink = sink + seq_bs_length(a); });
     int64_t k = seq_bs_length(a);
     double t_seq = timed_sequential(reps, [&] { sink = sink + lis_ranks(a).k; });
-    double t_par = time_best_of(reps, [&] { sink = sink + lis_ranks(a).k; });
+    double t_par = time_median_of(reps, [&] { sink = sink + lis_ranks(a).k; });
     table.add_row(k, {t_bs, t_seq, t_par});
+    const char* series[] = {"seq_bs", "ours_seq", "ours"};
+    double times[] = {t_bs, t_seq, t_par};
+    for (int si = 0; si < 3; si++) {
+      json.add(JsonRecord()
+                   .field("bench", "fig7c")
+                   .field("op", "lis_ranks")
+                   .field("series", series[si])
+                   .field("pattern", "range")
+                   .field("n", n)
+                   .field("k", k)
+                   .field("threads", si == 2 ? num_workers() : 1)
+                   .field("median_ms", times[si] * 1e3));
+    }
     std::printf("  k'=%lld realized k=%lld done\n",
                 static_cast<long long>(kprime), static_cast<long long>(k));
     std::fflush(stdout);

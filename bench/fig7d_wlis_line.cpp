@@ -2,10 +2,11 @@
 // weights. Series: Seq-AVL, SWGS, Ours-W (Alg. 2 + range tree). Paper
 // setup: n = 10^8, k in [1, 3000]; scaled default n = 2*10^5.
 // An extra column reports Ours-W with the Range-vEB structure (Sec. 4.2).
-// Flags: --n, --maxk, --swgsmaxk, --threads, --reps.
+// Flags: --n, --maxk, --swgsmaxk, --threads, --reps, --out FILE (JSON records).
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "parlis/swgs/swgs.hpp"
 #include "parlis/util/generators.hpp"
 #include "parlis/wlis/seq_avl.hpp"
@@ -24,23 +25,38 @@ int main(int argc, char** argv) {
   std::printf("fig7d: WLIS, line pattern, n=%lld, threads=%d\n",
               static_cast<long long>(n), num_workers());
 
+  BenchJson json(flags.get_str("out", ""));
   SeriesTable table({"seq_avl", "swgs", "ours_w", "ours_w_veb"});
   auto w = uniform_weights(n, 99);
   for (int64_t target_k : k_sweep(maxk, 5.5)) {
     auto a = line_pattern(n, target_k, 17 + target_k);
     volatile int64_t sink = 0;
-    double t_avl = time_best_of(reps, [&] { sink = sink + seq_avl_wlis(a, w).back(); });
+    double t_avl = time_median_of(reps, [&] { sink = sink + seq_avl_wlis(a, w).back(); });
     double t_swgs = -1;
     if (target_k <= swgs_maxk) {
-      t_swgs = time_best_of(reps, [&] { sink = sink + swgs_wlis(a, w).best; });
+      t_swgs = time_median_of(reps, [&] { sink = sink + swgs_wlis(a, w).best; });
     }
     WlisResult probe = wlis(a, w, WlisStructure::kRangeTree);
     int64_t k = probe.k;
-    double t_tree = time_best_of(
+    double t_tree = time_median_of(
         reps, [&] { sink = sink + wlis(a, w, WlisStructure::kRangeTree).best; });
-    double t_veb = time_best_of(
+    double t_veb = time_median_of(
         reps, [&] { sink = sink + wlis(a, w, WlisStructure::kRangeVeb).best; });
     table.add_row(k, {t_avl, t_swgs, t_tree, t_veb});
+    const char* series[] = {"seq_avl", "swgs", "ours_w", "ours_w_veb"};
+    double times[] = {t_avl, t_swgs, t_tree, t_veb};
+    for (int si = 0; si < 4; si++) {
+      if (times[si] < 0) continue;
+      json.add(JsonRecord()
+                   .field("bench", "fig7d")
+                   .field("op", "wlis")
+                   .field("series", series[si])
+                   .field("pattern", "line")
+                   .field("n", n)
+                   .field("k", k)
+                   .field("threads", si == 0 ? 1 : num_workers())
+                   .field("median_ms", times[si] * 1e3));
+    }
     std::printf("  k=%lld done\n", static_cast<long long>(k));
     std::fflush(stdout);
   }

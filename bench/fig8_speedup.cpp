@@ -3,7 +3,7 @@
 // The paper sweeps 1..96 cores (192 hyperthreads); here the sweep covers
 // --threadlist (default "1,2,4") by re-executing this binary per thread
 // count (the pool size is fixed per process). On a single-core host the
-// curve is flat — see EXPERIMENTS.md. Flags: --n, --threadlist, --reps.
+// curve is flat — see EXPERIMENTS.md. Flags: --n, --threadlist, --reps, --out FILE (JSON records).
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "parlis/lis/lis.hpp"
 #include "parlis/lis/seq_lis.hpp"
 #include "parlis/util/generators.hpp"
@@ -38,7 +39,7 @@ int run_child(int64_t n, int64_t k, const char* pattern, int reps) {
   auto a = std::strcmp(pattern, "line") == 0 ? line_pattern(n, k, 23 + k)
                                              : range_pattern(n, k, 23 + k);
   volatile int64_t sink = 0;
-  double t = time_best_of(reps, [&] { sink = sink + lis_ranks(a).k; });
+  double t = time_median_of(reps, [&] { sink = sink + lis_ranks(a).k; });
   std::printf("RESULT %.6f\n", t);
   return 0;
 }
@@ -81,6 +82,7 @@ int main(int argc, char** argv) {
     }
   }
   std::vector<int> threads = parse_list(tl);
+  BenchJson json(flags.get_str("out", ""));
   std::printf("fig8: LIS self-relative speedup, n=%lld, threads={%s}\n",
               static_cast<long long>(n), tl.c_str());
 
@@ -102,7 +104,7 @@ int main(int argc, char** argv) {
                  ? line_pattern(n, cfg.k, 23 + cfg.k)
                  : range_pattern(n, cfg.k, 23 + cfg.k);
     volatile int64_t sink = 0;
-    double t_bs = time_best_of(reps, [&] { sink = sink + seq_bs_length(a); });
+    double t_bs = time_median_of(reps, [&] { sink = sink + seq_bs_length(a); });
     std::vector<double> times;
     for (int t : threads) {
       times.push_back(
@@ -116,6 +118,19 @@ int main(int argc, char** argv) {
     std::printf("%-18s", "  (seconds)");
     for (double t : times) std::printf("  %-12.4f", t);
     std::printf("\n");
+    for (size_t ti = 0; ti < threads.size(); ti++) {
+      if (times[ti] < 0) continue;
+      json.add(JsonRecord()
+                   .field("bench", "fig8")
+                   .field("op", "lis_ranks")
+                   .field("series", cfg.name)
+                   .field("pattern", cfg.pattern)
+                   .field("n", n)
+                   .field("k", cfg.k)
+                   .field("threads", threads[ti])
+                   .field("median_ms", times[ti] * 1e3)
+                   .field("speedup", times[0] > 0 ? times[0] / times[ti] : -1.0));
+    }
     std::fflush(stdout);
   }
   std::printf(

@@ -56,24 +56,30 @@ LisResult lis_ranks(const std::vector<T>& a,
 }
 
 /// Computes dp values and the per-round frontiers (two-pass extraction).
+/// Every object is extracted in exactly one round, so frontier_flat is
+/// preallocated at size n and each round writes its frontier directly into
+/// the next flat region — no per-round vector, no copying.
 template <typename T, typename Less = std::less<T>>
 LisFrontiers lis_frontiers(const std::vector<T>& a,
                            T inf = std::numeric_limits<T>::max(),
                            Less less = Less{}) {
   LisFrontiers res;
+  const int64_t n = static_cast<int64_t>(a.size());
   res.rank.assign(a.size(), 0);
   res.frontier_offset.push_back(0);
   if (a.empty()) return res;
   TournamentTree<T, Less> tree(a, inf, less);
+  res.frontier_flat.resize(n);
   int32_t r = 0;
+  int64_t off = 0;
   while (!tree.empty()) {
     ++r;
-    std::vector<int64_t> f = tree.extract_frontier_collect();
-    parallel_for(0, static_cast<int64_t>(f.size()),
-                 [&](int64_t j) { res.rank[f[j]] = r; });
-    res.frontier_flat.insert(res.frontier_flat.end(), f.begin(), f.end());
-    res.frontier_offset.push_back(
-        static_cast<int64_t>(res.frontier_flat.size()));
+    const int64_t m =
+        tree.extract_frontier_collect_into(res.frontier_flat.data() + off);
+    const int64_t* f = res.frontier_flat.data() + off;
+    parallel_for(0, m, [&](int64_t j) { res.rank[f[j]] = r; });
+    off += m;
+    res.frontier_offset.push_back(off);
   }
   res.k = r;
   return res;

@@ -1,23 +1,50 @@
 // Parallel tournament tree (Sec. 3, Fig. 4 of the paper).
 //
-// An implicit complete binary min-tree over the input stored in an array
-// T[1..2L-1] (L = leaves rounded up to a power of two). Internal node i has
-// children 2i and 2i+1 and stores the minimum of its subtree. Supports:
+// Conceptually a complete min-tree over the input. Supports:
 //
 //  * parallel construction: O(n) work, O(log n) span (Thm. 3.1),
 //  * extract_frontier: the PrefixMin traversal of Alg. 1 — finds every
 //    *prefix-min* leaf (<= all live leaves before it), reports it, and
 //    removes it (sets it to +inf), in O(m log(n/m)) work for m reported
 //    leaves,
-//  * extract_frontier_collect: the two-pass variant of Appendix A that also
-//    writes the frontier's leaf indices, in input order, into an array
-//    (pass 1 counts per-subtree "effective sizes" without modifying the
-//    tree; pass 2 places indices and removes the leaves).
+//  * extract_frontier_collect / extract_frontier_collect_into: the two-pass
+//    variant of Appendix A that also writes the frontier's leaf indices, in
+//    input order, into an array (pass 1 counts per-subtree "effective sizes"
+//    without modifying the tree; pass 2 places indices and removes the
+//    leaves). The _into form writes into a caller-owned buffer so repeated
+//    rounds allocate nothing.
+//
+// Layout: the textbook implicit layout (children of node i at 2i, 2i+1 over
+// one big array) scatters a root-to-leaf path across O(log n) distant
+// regions, so every step below the cached top levels is a DRAM miss. The
+// tree here is stored *blocked and flat* (the cache-friendly implicit-vEB
+// style): the bottom 512-leaf subtrees each live in one contiguous chunk
+// laid out as three 8-ary levels —
+//
+//      [ 8 supergroup minima | 64 group minima | 512 leaves ]
+//
+// — and a small implicit binary "top" tree over the per-block minima stays
+// cache-hot (n/512 entries). A prefix-min descent into a block reads the
+// one supergroup line, one group line per entered supergroup and one leaf
+// line per entered group, instead of ~2 lines per binary level; the whole
+// structure is ~1.14 entries per leaf instead of 2. Each 8-entry scan is a
+// left-to-right prefix-min sweep (enter child iff its pre-round minimum is
+// <= the running bound; the bound then absorbs that minimum), which visits
+// exactly the leaves the binary traversal visits, so the reported frontiers
+// — and the Thm. 3.2 O(n log k) bound on the visit counter — are unchanged.
+// Entering a node still guarantees a report beneath it, which is what the
+// work bound charges against.
+//
+// Traversals fork only in the top tree; inside a block they run sequentially
+// and batch their visit count into a single WorkerCounter update, so
+// instrumentation costs one cache-local store per block visit instead of a
+// shared atomic RMW per node (the counter counts considered child entries,
+// the 8-ary analogue of per-node visits).
 //
 // The element type T needs operator< and a user-supplied +inf sentinel.
 #pragma once
 
-#include <atomic>
+#include <algorithm>
 #include <bit>
 #include <functional>
 #include <cassert>
@@ -25,6 +52,7 @@
 #include <vector>
 
 #include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/worker_counter.hpp"
 
 namespace parlis {
 
@@ -36,147 +64,313 @@ class TournamentTree {
   TournamentTree(const std::vector<T>& xs, T inf, Less less = Less{})
       : less_(less),
         n_(static_cast<int64_t>(xs.size())),
-        leaves_(static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(
-            n_ > 0 ? n_ : 1)))),
+        nblocks_((n_ > 0 ? n_ - 1 : 0) / kBlockLeaves + 1),
+        top_leaves_(static_cast<int64_t>(
+            std::bit_ceil(static_cast<uint64_t>(nblocks_)))),
         inf_(inf),
-        t_(2 * leaves_) {
-    parallel_for(0, leaves_, [&](int64_t i) {
-      t_[leaves_ + i] = i < n_ ? xs[i] : inf_;
+        blocks_(kBlockStride * nblocks_, inf),
+        top_(2 * top_leaves_, inf) {
+    parallel_for(0, nblocks_, [&](int64_t b) {
+      T* blk = blocks_.data() + kBlockStride * b;
+      const int64_t base = b * kBlockLeaves;
+      T* leaf = blk + kLeafOff;
+      const int64_t fill = std::min(kBlockLeaves, n_ - base);
+      for (int64_t j = 0; j < fill; j++) leaf[j] = xs[base + j];
+      for (int64_t g = 0; g < 64; g++) {
+        blk[kL2Off + g] = min8(leaf + 8 * g);
+      }
+      for (int64_t s = 0; s < 8; s++) {
+        blk[s] = min8(blk + kL2Off + 8 * s);
+      }
+      top_[top_leaves_ + b] = min8(blk);
     });
-    build(1);
+    // Phantom top leaves (past the last physical block) keep their inf
+    // sentinel, so traversals prune them without touching block storage.
+    // Internal top nodes are built with the same parallel recursion as the
+    // blocks, preserving the O(log n) construction span of Thm. 3.1.
+    build_top(1, top_leaves_);
   }
 
   /// True when every leaf has been removed.
-  bool empty() const { return !less_(t_[1], inf_); }
+  bool empty() const { return !less_(top_[1], inf_); }
 
   /// Minimum live leaf value (inf_ when empty).
-  const T& min_value() const { return t_[1]; }
+  const T& min_value() const { return top_[1]; }
 
   int64_t size() const { return n_; }
 
-  /// Total tree nodes visited by all extractions so far (Thm. 3.2 charges
-  /// O(m_r log(n/m_r)) per round, O(n log k) in total — the property tests
-  /// assert this bound empirically).
-  uint64_t nodes_visited() const {
-    return visits_.load(std::memory_order_relaxed);
-  }
+  /// Total tree entries considered by all extractions so far (Thm. 3.2
+  /// charges O(m_r log(n/m_r)) per round, O(n log k) in total — the property
+  /// tests assert this bound empirically). Per-worker slots summed on read.
+  uint64_t nodes_visited() const { return visits_.read(); }
 
   /// Alg. 1 ProcessFrontier: visits every prefix-min leaf, calls
-  /// visit(leaf_index) for each, and removes them. Leaves are visited in
+  /// visit(leaf_index) for each, and removes them. Blocks are visited in
   /// parallel; `visit` must be safe to call concurrently for distinct
   /// indices.
   template <typename Visit>
   void extract_frontier(const Visit& visit) {
     if (empty()) return;
-    prefix_min_extract(1, inf_, visit);
+    top_extract(1, inf_, visit);
   }
 
   /// Appendix A two-pass variant: returns the frontier's leaf indices sorted
   /// by index (ascending), and removes those leaves.
   std::vector<int64_t> extract_frontier_collect() {
     if (empty()) return {};
-    if (count_.empty()) count_.assign(2 * leaves_, 0);  // lazy scratch
-    int64_t m = count_pass(1, inf_);
-    std::vector<int64_t> out(m);
-    place_pass(1, inf_, out.data());
+    std::vector<int64_t> out(count_frontier());
+    top_place(1, inf_, out.data());
     return out;
   }
 
+  /// Allocation-free form: writes the frontier (ascending leaf indices) into
+  /// `out`, removes those leaves, and returns the frontier size m. `out`
+  /// must have room for the whole frontier; across all rounds exactly
+  /// size() indices are written in total.
+  int64_t extract_frontier_collect_into(int64_t* out) {
+    if (empty()) return 0;
+    int64_t m = count_frontier();
+    top_place(1, inf_, out);
+    return m;
+  }
+
  private:
-  // Recomputes internal nodes below node i (parallel).
-  void build(int64_t i) {
-    if (i >= leaves_) return;
-    if (leaves_ / largest_pow2_le(i) <= 2048) {  // small subtree: sequential
-      build_seq(i);
+  // Flat 8-ary block geometry: 8 supergroups x 8 groups x 8 leaves.
+  static constexpr int64_t kBlockLeaves = 512;
+  static constexpr int64_t kL2Off = 8;        // 64 group minima
+  static constexpr int64_t kLeafOff = 8 + 64;  // 512 leaves
+  static constexpr int64_t kBlockStride = kLeafOff + kBlockLeaves;
+
+  T* block(int64_t b) { return blocks_.data() + kBlockStride * b; }
+
+  T min8(const T* p) const {
+    T m = p[0];
+    for (int j = 1; j < 8; j++) {
+      if (less_(p[j], m)) m = p[j];
+    }
+    return m;
+  }
+
+  // Recomputes internal top-tree nodes below node i (`sub` = leaf slots
+  // under it), forking while subtrees are large.
+  void build_top(int64_t i, int64_t sub) {
+    if (i >= top_leaves_) return;
+    if (sub <= 2048) {
+      build_top_seq(i);
       return;
     }
-    par_do([&] { build(2 * i); }, [&] { build(2 * i + 1); });
-    t_[i] = less_(t_[2 * i + 1], t_[2 * i]) ? t_[2 * i + 1] : t_[2 * i];
+    par_do([&] { build_top(2 * i, sub / 2); },
+           [&] { build_top(2 * i + 1, sub / 2); });
+    top_[i] = less_(top_[2 * i + 1], top_[2 * i]) ? top_[2 * i + 1] : top_[2 * i];
   }
 
-  void build_seq(int64_t i) {
-    if (i >= leaves_) return;
-    build_seq(2 * i);
-    build_seq(2 * i + 1);
-    t_[i] = less_(t_[2 * i + 1], t_[2 * i]) ? t_[2 * i + 1] : t_[2 * i];
+  void build_top_seq(int64_t i) {
+    if (i >= top_leaves_) return;
+    build_top_seq(2 * i);
+    build_top_seq(2 * i + 1);
+    top_[i] = less_(top_[2 * i + 1], top_[2 * i]) ? top_[2 * i + 1] : top_[2 * i];
   }
 
-  static int64_t largest_pow2_le(int64_t i) {
-    return int64_t{1} << (63 - std::countl_zero(static_cast<uint64_t>(i)));
+  // Lazily allocates the (persistent, top-tree-sized) pass-1 scratch and
+  // runs the counting pass; returns the frontier size.
+  int64_t count_frontier() {
+    if (count_.empty()) count_.assign(2 * top_leaves_, 0);
+    return top_count(1, inf_);
   }
 
-  // Single-pass PrefixMin (Alg. 1 lines 12-21): report & remove.
+  // ---------------------------------------------------------- top tree ---
+  // Standard binary prefix-min descent over the per-block minima; reaching
+  // top leaf i (block b = i - top_leaves_) hands off to the sequential
+  // in-block scans and refreshes the cached block minimum on unwind. A top
+  // leaf and its block are the same conceptual subtree, so the pruned case
+  // is counted here (without touching block storage) and the entered case
+  // is counted entirely by the in-block walk.
+
   template <typename Visit>
-  void prefix_min_extract(int64_t i, const T& lmin, const Visit& visit) {
-    visits_.fetch_add(1, std::memory_order_relaxed);
-    // Skip if something smaller lives before this subtree, or if the
-    // subtree is exhausted (all removed leaves are inf_).
-    if (less_(lmin, t_[i]) || !less_(t_[i], inf_)) return;
-    if (i >= leaves_) {
-      visit(i - leaves_);
-      t_[i] = inf_;
+  void top_extract(int64_t i, const T& lmin, const Visit& visit) {
+    if (less_(lmin, top_[i]) || !less_(top_[i], inf_)) {
+      visits_.add(1);
       return;
     }
-    T left_min = t_[2 * i];  // read before the left recursion mutates it
-    par_do([&] { prefix_min_extract(2 * i, lmin, visit); },
+    if (i >= top_leaves_) {
+      T* blk = block(i - top_leaves_);
+      uint64_t vis = 0;
+      block_extract(blk, (i - top_leaves_) * kBlockLeaves, lmin, visit, vis);
+      visits_.add(vis);
+      top_[i] = min8(blk);
+      return;
+    }
+    visits_.add(1);
+    T left_min = top_[2 * i];  // read before the left recursion mutates it
+    par_do([&] { top_extract(2 * i, lmin, visit); },
            [&] {
              const T& rmin = less_(left_min, lmin) ? left_min : lmin;
-             prefix_min_extract(2 * i + 1, rmin, visit);
+             top_extract(2 * i + 1, rmin, visit);
            });
-    t_[i] = less_(t_[2 * i + 1], t_[2 * i]) ? t_[2 * i + 1] : t_[2 * i];
+    top_[i] = less_(top_[2 * i + 1], top_[2 * i]) ? top_[2 * i + 1] : top_[2 * i];
   }
 
-  // Pass 1 (Appendix A): count prefix-min leaves per visited subtree without
-  // modifying values. Records counts in count_.
-  int64_t count_pass(int64_t i, const T& lmin) {
-    visits_.fetch_add(1, std::memory_order_relaxed);
-    if (less_(lmin, t_[i]) || !less_(t_[i], inf_)) {
+  int64_t top_count(int64_t i, const T& lmin) {
+    if (less_(lmin, top_[i]) || !less_(top_[i], inf_)) {
+      visits_.add(1);
       count_[i] = 0;
       return 0;
     }
-    if (i >= leaves_) {
-      count_[i] = 1;
-      return 1;
+    if (i >= top_leaves_) {
+      uint64_t vis = 0;
+      int64_t c = block_count(block(i - top_leaves_), lmin, vis);
+      visits_.add(vis);
+      count_[i] = c;
+      return c;
     }
+    visits_.add(1);
     int64_t cl = 0, cr = 0;
-    T left_min = t_[2 * i];
-    par_do([&] { cl = count_pass(2 * i, lmin); },
+    T left_min = top_[2 * i];
+    par_do([&] { cl = top_count(2 * i, lmin); },
            [&] {
              const T& rmin = less_(left_min, lmin) ? left_min : lmin;
-             cr = count_pass(2 * i + 1, rmin);
+             cr = top_count(2 * i + 1, rmin);
            });
     count_[i] = cl + cr;
     return count_[i];
   }
 
-  // Pass 2: re-traverses the same structure, placing leaf indices at offsets
-  // derived from count_ and removing the leaves.
-  void place_pass(int64_t i, const T& lmin, int64_t* out) {
-    visits_.fetch_add(1, std::memory_order_relaxed);
-    if (less_(lmin, t_[i]) || !less_(t_[i], inf_)) return;
-    if (i >= leaves_) {
-      *out = i - leaves_;
-      t_[i] = inf_;
+  void top_place(int64_t i, const T& lmin, int64_t* out) {
+    if (less_(lmin, top_[i]) || !less_(top_[i], inf_)) {
+      visits_.add(1);
       return;
     }
-    T left_min = t_[2 * i];
+    if (i >= top_leaves_) {
+      T* blk = block(i - top_leaves_);
+      uint64_t vis = 0;
+      int64_t* cursor = out;
+      // In-block reporting is in leaf order, so pass 2 needs no per-node
+      // counts below the top tree — a moving cursor replaces them.
+      block_extract(blk, (i - top_leaves_) * kBlockLeaves, lmin,
+                    [&](int64_t idx) { *cursor++ = idx; }, vis);
+      visits_.add(vis);
+      top_[i] = min8(blk);
+      return;
+    }
+    visits_.add(1);
+    T left_min = top_[2 * i];
     // count_[2i] is 0 when pass 1 skipped the left child, so no branch needed.
     int64_t skip = count_[2 * i];
-    par_do([&] { place_pass(2 * i, lmin, out); },
+    par_do([&] { top_place(2 * i, lmin, out); },
            [&] {
              const T& rmin = less_(left_min, lmin) ? left_min : lmin;
-             place_pass(2 * i + 1, rmin, out + skip);
+             top_place(2 * i + 1, rmin, out + skip);
            });
-    t_[i] = less_(t_[2 * i + 1], t_[2 * i]) ? t_[2 * i + 1] : t_[2 * i];
+    top_[i] = less_(top_[2 * i + 1], top_[2 * i]) ? top_[2 * i + 1] : top_[2 * i];
+  }
+
+  // ------------------------------------------------------------ blocks ---
+  // Sequential prefix-min sweeps over the three 8-ary levels. Each level
+  // walks its 8 children left to right: a child is entered iff its pre-round
+  // minimum qualifies against the running bound, and the bound then absorbs
+  // that minimum. `vis` counts considered entries, batched into one counter
+  // update per block visit.
+
+  template <typename Visit>
+  void block_extract(T* blk, int64_t base, const T& lmin, const Visit& visit,
+                     uint64_t& vis) {
+    T cur = lmin;
+    for (int64_t s = 0; s < 8; s++) {
+      vis++;
+      T v = blk[s];  // pre value: the descent below mutates blk[s]
+      if (!less_(cur, v) && less_(v, inf_)) {
+        super_extract(blk, s, base, cur, visit, vis);
+      }
+      if (less_(v, cur)) cur = v;
+    }
+  }
+
+  template <typename Visit>
+  void super_extract(T* blk, int64_t s, int64_t base, const T& bound,
+                     const Visit& visit, uint64_t& vis) {
+    T* l2 = blk + kL2Off + 8 * s;
+    T cur = bound;
+    for (int64_t j = 0; j < 8; j++) {
+      vis++;
+      T w = l2[j];
+      if (!less_(cur, w) && less_(w, inf_)) {
+        group_extract(blk, 8 * s + j, base, cur, visit, vis);
+      }
+      if (less_(w, cur)) cur = w;
+    }
+    blk[s] = min8(l2);
+  }
+
+  template <typename Visit>
+  void group_extract(T* blk, int64_t g, int64_t base, const T& bound,
+                     const Visit& visit, uint64_t& vis) {
+    T* leaf = blk + kLeafOff + 8 * g;
+    T cur = bound;
+    for (int64_t j = 0; j < 8; j++) {
+      vis++;
+      T x = leaf[j];
+      if (!less_(cur, x) && less_(x, inf_)) {
+        visit(base + 8 * g + j);
+        leaf[j] = inf_;
+      }
+      if (less_(x, cur)) cur = x;
+    }
+    blk[kL2Off + g] = min8(leaf);
+  }
+
+  // Pass 1 within a block: identical sweeps, no mutation, returns the count.
+  int64_t block_count(const T* blk, const T& lmin, uint64_t& vis) const {
+    T cur = lmin;
+    int64_t c = 0;
+    for (int64_t s = 0; s < 8; s++) {
+      vis++;
+      const T& v = blk[s];
+      if (!less_(cur, v) && less_(v, inf_)) c += super_count(blk, s, cur, vis);
+      if (less_(v, cur)) cur = v;
+    }
+    return c;
+  }
+
+  int64_t super_count(const T* blk, int64_t s, const T& bound,
+                      uint64_t& vis) const {
+    const T* l2 = blk + kL2Off + 8 * s;
+    T cur = bound;
+    int64_t c = 0;
+    for (int64_t j = 0; j < 8; j++) {
+      vis++;
+      const T& w = l2[j];
+      if (!less_(cur, w) && less_(w, inf_)) {
+        c += group_count(blk, 8 * s + j, cur, vis);
+      }
+      if (less_(w, cur)) cur = w;
+    }
+    return c;
+  }
+
+  int64_t group_count(const T* blk, int64_t g, const T& bound,
+                      uint64_t& vis) const {
+    const T* leaf = blk + kLeafOff + 8 * g;
+    T cur = bound;
+    int64_t c = 0;
+    for (int64_t j = 0; j < 8; j++) {
+      vis++;
+      const T& x = leaf[j];
+      if (!less_(cur, x) && less_(x, inf_)) c++;
+      if (less_(x, cur)) cur = x;
+    }
+    return c;
   }
 
   Less less_;
-  std::atomic<uint64_t> visits_{0};
+  WorkerCounter visits_;
   int64_t n_;
-  int64_t leaves_;
+  int64_t nblocks_;     // physical blocks, ceil(n / 512)
+  int64_t top_leaves_;  // bit_ceil(nblocks_): top-tree leaf slots
   T inf_;
-  std::vector<T> t_;        // implicit tree, 1-indexed
-  std::vector<int64_t> count_;  // per-node frontier counts (pass 1 scratch)
+  std::vector<T> blocks_;  // nblocks_ flat chunks of kBlockStride entries
+  std::vector<T> top_;     // implicit binary tree over block minima
+  std::vector<int64_t> count_;  // top-tree pass-1 scratch (allocated once,
+                                // reused across rounds)
 };
 
 }  // namespace parlis

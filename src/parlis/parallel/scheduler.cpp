@@ -1,5 +1,7 @@
 #include "parlis/parallel/scheduler.hpp"
 
+#include "parlis/parallel/worker_counter.hpp"
+
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
@@ -14,7 +16,22 @@ namespace {
 
 thread_local int tl_worker_id = -1;
 int g_requested_workers = 0;  // set_num_workers target, 0 = default
-bool g_pool_created = false;
+// Atomic: read by LazyWorkerSlots from worker threads concurrently with the
+// first pool() call's store. Relaxed suffices — pool workers are spawned
+// after the store (thread creation orders it), so they can never observe a
+// stale false.
+std::atomic<bool> g_pool_created{false};
+
+// Leaked on purpose: workers may record a last steal while statics are being
+// torn down at exit, so the counters must outlive the pool.
+WorkerCounter& spawn_counter() {
+  static WorkerCounter* c = new WorkerCounter;
+  return *c;
+}
+WorkerCounter& steal_counter() {
+  static WorkerCounter* c = new WorkerCounter;
+  return *c;
+}
 
 class Pool {
  public:
@@ -27,6 +44,7 @@ class Pool {
 
   void push(RawTask t) {
     int id = tl_worker_id >= 0 ? tl_worker_id : 0;
+    spawn_counter().add();
     {
       std::lock_guard<std::mutex> lk(deques_[id].mu);
       deques_[id].q.push_back(t);
@@ -66,10 +84,17 @@ class Pool {
     }
     for (int i = 1; i < p; i++) {
       int v = (id + i) % p;
-      std::lock_guard<std::mutex> lk(deques_[v].mu);
-      if (!deques_[v].q.empty()) {
-        t = deques_[v].q.front();  // steal from the top (FIFO)
-        deques_[v].q.pop_front();
+      bool stolen = false;
+      {
+        std::lock_guard<std::mutex> lk(deques_[v].mu);
+        if (!deques_[v].q.empty()) {
+          t = deques_[v].q.front();  // steal from the top (FIFO)
+          deques_[v].q.pop_front();
+          stolen = true;
+        }
+      }
+      if (stolen) {
+        steal_counter().add();
         run(t);
         return true;
       }
@@ -146,7 +171,7 @@ class Pool {
 };
 
 Pool& pool() {
-  g_pool_created = true;
+  g_pool_created.store(true, std::memory_order_relaxed);
   return Pool::get();
 }
 
@@ -155,7 +180,9 @@ Pool& pool() {
 void pool_push(RawTask t) { pool().push(t); }
 bool pool_pop_if(void* arg) { return pool().pop_if(arg); }
 void pool_wait(std::atomic<uint32_t>& pending) { pool().wait(pending); }
-bool pool_started() { return g_pool_created; }
+bool pool_started() {
+  return g_pool_created.load(std::memory_order_relaxed);
+}
 
 }  // namespace internal
 
@@ -181,6 +208,15 @@ bool set_sequential_mode(bool on) {
 
 bool sequential_mode() {
   return g_sequential_mode.load(std::memory_order_relaxed);
+}
+
+SchedulerStats scheduler_stats() {
+  return {internal::spawn_counter().read(), internal::steal_counter().read()};
+}
+
+void reset_scheduler_stats() {
+  internal::spawn_counter().reset();
+  internal::steal_counter().reset();
 }
 
 }  // namespace parlis

@@ -42,6 +42,17 @@ int worker_id();
 bool set_sequential_mode(bool on);
 bool sequential_mode();
 
+/// Lifetime scheduler statistics, gathered contention-free (one slot per
+/// worker, summed on read): spawns = tasks pushed by par_do forks, steals =
+/// tasks taken from another worker's deque.
+struct SchedulerStats {
+  uint64_t spawns = 0;
+  uint64_t steals = 0;
+};
+SchedulerStats scheduler_stats();
+/// Zeroes the statistics; call between parallel phases, not during one.
+void reset_scheduler_stats();
+
 namespace internal {
 
 struct RawTask {

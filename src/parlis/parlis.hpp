@@ -4,7 +4,9 @@
 #include "parlis/parallel/parallel.hpp"     // par_do, parallel_for
 #include "parlis/parallel/primitives.hpp"   // reduce/scan/filter/merge/sort
 #include "parlis/parallel/random.hpp"       // hash64, uniform
-#include "parlis/parallel/scheduler.hpp"    // num_workers, set_num_workers
+#include "parlis/parallel/scheduler.hpp"    // num_workers, scheduler_stats
+#include "parlis/parallel/worker_counter.hpp"  // contention-free counters
+#include "parlis/parallel/worker_slots.hpp"    // lazy per-worker slot arrays
 #include "parlis/lis/lis.hpp"               // lis_ranks/lis_sequence (Alg. 1)
 #include "parlis/lis/seq_lis.hpp"           // Seq-BS baseline
 #include "parlis/lis/tournament_tree.hpp"   // TournamentTree
@@ -16,5 +18,6 @@
 #include "parlis/wlis/range_veb.hpp"        // dominant-max, Sec. 4.2
 #include "parlis/wlis/seq_avl.hpp"          // Seq-AVL baseline
 #include "parlis/swgs/swgs.hpp"             // SWGS baseline
+#include "parlis/util/arena.hpp"            // chunked bump arena
 #include "parlis/util/generators.hpp"       // paper input generators
 #include "parlis/util/timer.hpp"

@@ -1,0 +1,125 @@
+// Chunked, thread-safe bump-pointer arena.
+//
+// Replaces per-node heap allocation (make_unique per vEB cluster, one
+// std::vector per cluster table) on structure-building hot paths: nodes of a
+// tree share large chunks, allocation is a bump of the calling worker's
+// cursor, and the whole structure is released wholesale when the arena dies.
+//
+// Concurrency: each pool worker owns a cache-line-aligned (cursor, end) pair
+// (via LazyWorkerSlots, so constructing an arena-backed structure has no
+// scheduler side effects); only refilling an exhausted cursor (once per
+// kDefaultChunkBytes) and oversized requests take the shared mutex.
+// Allocations made before the pool starts bump the boot cursor; its
+// partially-used chunk is simply abandoned once the pool comes up (bounded
+// waste — the chunk itself stays owned by chunks_). The same contract as the
+// scheduler applies: allocating threads must be pool workers (threads
+// outside the pool alias worker 0's cursor).
+//
+// The arena never runs destructors, so every allocated type must be
+// trivially destructible (enforced by static_assert). Individual frees are
+// not supported; memory is reclaimed when the arena is destroyed or
+// move-assigned over.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "parlis/parallel/worker_slots.hpp"
+
+namespace parlis {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = size_t{1} << 16;  // 64KB
+
+  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  // Moved-from arenas own no memory and no live objects; they may be
+  // destroyed, or reused (allocations refill from fresh chunks). Moves must
+  // not race with allocations.
+  Arena(Arena&& o) noexcept { *this = std::move(o); }
+  Arena& operator=(Arena&& o) noexcept {
+    if (this != &o) {
+      chunk_bytes_ = o.chunk_bytes_;
+      reserved_bytes_ = o.reserved_bytes_;
+      slots_ = std::move(o.slots_);
+      chunks_ = std::move(o.chunks_);
+      o.reserved_bytes_ = 0;
+    }
+    return *this;
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned allocation. align must be a power of two <= alignof(max_align_t).
+  void* alloc(size_t bytes, size_t align) {
+    Slot& s = slots_.local();
+    uintptr_t p = (s.cur + (align - 1)) & ~uintptr_t(align - 1);
+    if (p + bytes > s.end) return alloc_slow(s, bytes, align);
+    s.cur = p + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Constructs a T in the arena.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return ::new (alloc(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Value-initialized array of n Ts (zeroed for scalar/pointer types).
+  template <typename T>
+  T* create_array(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    T* p = static_cast<T*>(alloc(n * sizeof(T), alignof(T)));
+    std::uninitialized_value_construct_n(p, n);
+    return p;
+  }
+
+  /// Total bytes reserved from the system so far (testing/introspection).
+  size_t reserved_bytes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return reserved_bytes_;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    uintptr_t cur = 0;
+    uintptr_t end = 0;
+  };
+
+  void* alloc_slow(Slot& s, size_t bytes, size_t align) {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Oversized request: dedicated chunk, the worker's bump region is kept.
+    if (bytes + align > chunk_bytes_ / 2) {
+      chunks_.emplace_back(new std::byte[bytes + align]);
+      reserved_bytes_ += bytes + align;
+      uintptr_t p = reinterpret_cast<uintptr_t>(chunks_.back().get());
+      return reinterpret_cast<void*>((p + (align - 1)) & ~uintptr_t(align - 1));
+    }
+    chunks_.emplace_back(new std::byte[chunk_bytes_]);
+    reserved_bytes_ += chunk_bytes_;
+    s.cur = reinterpret_cast<uintptr_t>(chunks_.back().get());
+    s.end = s.cur + chunk_bytes_;
+    uintptr_t p = (s.cur + (align - 1)) & ~uintptr_t(align - 1);
+    s.cur = p + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  size_t chunk_bytes_ = kDefaultChunkBytes;
+  size_t reserved_bytes_ = 0;  // guarded by mu_
+  LazyWorkerSlots<Slot> slots_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;  // guarded by mu_
+};
+
+}  // namespace parlis

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/primitives.hpp"
@@ -18,6 +19,8 @@ constexpr int kBaseBits = 6;  // subtrees with universe <= 2^6 are a bitmask
 
 // ---------------------------------------------------------------- layout ---
 
+// Trivially destructible: nodes and cluster tables live in the owning
+// VebTree's arena and are freed wholesale with it.
 struct VebTree::Node {
   uint8_t bits;      // universe 2^bits
   uint8_t lo_bits;   // floor(bits/2);  hi_bits = bits - lo_bits
@@ -25,8 +28,8 @@ struct VebTree::Node {
   uint64_t min = kNone;  // kNone <=> empty
   uint64_t max = kNone;
   uint64_t mask = 0;  // base case only (bits <= kBaseBits): all keys
-  std::unique_ptr<Node> summary;                  // universe 2^hi_bits
-  std::vector<std::unique_ptr<Node>> clusters;    // 2^hi_bits, lazy
+  Node* summary = nullptr;    // universe 2^hi_bits
+  Node** clusters = nullptr;  // 2^hi_bits entries, lazy (arena-allocated)
 
   explicit Node(int b)
       : bits(static_cast<uint8_t>(b)),
@@ -39,18 +42,15 @@ struct VebTree::Node {
   uint64_t low(uint64_t x) const { return x & ((uint64_t{1} << lo_bits) - 1); }
   uint64_t index(uint64_t h, uint64_t l) const { return (h << lo_bits) | l; }
 
-  Node* cluster(uint64_t h) const {
-    if (clusters.empty()) return nullptr;
-    return clusters[h].get();
+  Node* cluster(uint64_t h) const { return clusters ? clusters[h] : nullptr; }
+  Node* ensure_cluster(uint64_t h, Arena& arena) {
+    if (!clusters) clusters = arena.create_array<Node*>(uint64_t{1} << hi_bits);
+    if (!clusters[h]) clusters[h] = arena.create<Node>(lo_bits);
+    return clusters[h];
   }
-  Node* ensure_cluster(uint64_t h) {
-    if (clusters.empty()) clusters.resize(uint64_t{1} << hi_bits);
-    if (!clusters[h]) clusters[h] = std::make_unique<Node>(lo_bits);
-    return clusters[h].get();
-  }
-  Node* ensure_summary() {
-    if (!summary) summary = std::make_unique<Node>(hi_bits);
-    return summary.get();
+  Node* ensure_summary(Arena& arena) {
+    if (!summary) summary = arena.create<Node>(hi_bits);
+    return summary;
   }
   bool summary_empty() const { return !summary || summary->is_empty(); }
 
@@ -107,7 +107,7 @@ uint64_t node_pred_lt(const Node* v, uint64_t x) {
   if (c && !c->is_empty() && c->min < l) {
     return v->index(h, node_pred_lt(c, l));
   }
-  uint64_t hp = node_pred_lt(v->summary.get(), h);
+  uint64_t hp = node_pred_lt(v->summary, h);
   if (hp != kNone) return v->index(hp, v->cluster(hp)->max);
   return v->min;
 }
@@ -126,7 +126,7 @@ uint64_t node_succ_gt(const Node* v, uint64_t x) {
   if (c && !c->is_empty() && c->max > l) {
     return v->index(h, node_succ_gt(c, l));
   }
-  uint64_t hs = node_succ_gt(v->summary.get(), h);
+  uint64_t hs = node_succ_gt(v->summary, h);
   if (hs != kNone) return v->index(hs, v->cluster(hs)->min);
   return v->max;
 }
@@ -136,7 +136,7 @@ uint64_t node_max(const Node* v) { return (!v || v->is_empty()) ? kNone : v->max
 
 // -------------------------------------------------- sequential insert/erase
 
-void node_insert(Node* v, uint64_t x) {
+void node_insert(Node* v, uint64_t x, Arena& arena) {
   if (v->base()) {
     v->mask |= uint64_t{1} << x;
     v->base_sync_minmax();
@@ -158,12 +158,12 @@ void node_insert(Node* v, uint64_t x) {
   if (x < v->min) std::swap(x, v->min);
   else if (x > v->max) std::swap(x, v->max);
   uint64_t h = v->high(x), l = v->low(x);
-  Node* c = v->ensure_cluster(h);
+  Node* c = v->ensure_cluster(h, arena);
   if (c->is_empty()) {
-    c->make_singleton(l);                 // O(1)
-    node_insert(v->ensure_summary(), h);  // the only deep recursion
+    c->make_singleton(l);                        // O(1)
+    node_insert(v->ensure_summary(arena), h, arena);  // the only deep recursion
   } else {
-    node_insert(c, l);  // summary already contains h
+    node_insert(c, l, arena);  // summary already contains h
   }
 }
 
@@ -175,7 +175,7 @@ void erase_from_clusters(Node* v, uint64_t y) {
   uint64_t h = v->high(y);
   Node* c = v->cluster(h);
   node_erase(c, v->low(y));
-  if (c->is_empty()) node_erase(v->summary.get(), h);
+  if (c->is_empty()) node_erase(v->summary, h);
 }
 
 void node_erase(Node* v, uint64_t x) {
@@ -198,7 +198,7 @@ void node_erase(Node* v, uint64_t x) {
     Node* c = v->cluster(h0);
     uint64_t l0 = c->min;
     node_erase(c, l0);  // O(1) when c is a singleton
-    if (c->is_empty()) node_erase(v->summary.get(), h0);
+    if (c->is_empty()) node_erase(v->summary, h0);
     v->min = v->index(h0, l0);
     return;
   }
@@ -211,7 +211,7 @@ void node_erase(Node* v, uint64_t x) {
     Node* c = v->cluster(h1);
     uint64_t l1 = c->max;
     node_erase(c, l1);
-    if (c->is_empty()) node_erase(v->summary.get(), h1);
+    if (c->is_empty()) node_erase(v->summary, h1);
     v->max = v->index(h1, l1);
     return;
   }
@@ -219,85 +219,140 @@ void node_erase(Node* v, uint64_t x) {
   Node* c = v->cluster(v->high(x));
   if (!c || v->summary_empty()) return;  // absent
   node_erase(c, v->low(x));
-  if (c->is_empty()) node_erase(v->summary.get(), v->high(x));
+  if (c->is_empty()) node_erase(v->summary, v->high(x));
 }
 
 // ------------------------------------------------------------ batch insert
 
-// Splits the sorted batch B (all with the same parent node) into per-high
-// groups [starts[g], starts[g+1]).
-std::vector<int64_t> group_starts(const Node* v,
-                                  const std::vector<uint64_t>& b) {
-  int64_t m = static_cast<int64_t>(b.size());
+// Splits the sorted batch [b, b+m) (all with the same parent node) into
+// per-high groups [starts[g], starts[g+1]).
+std::vector<int64_t> group_starts(const Node* v, const uint64_t* b,
+                                  int64_t m) {
   auto starts = pack_index(
       m, [&](int64_t i) { return i == 0 || v->high(b[i]) != v->high(b[i - 1]); });
   starts.push_back(m);
   return starts;
 }
 
-// Alg. 4. B: sorted, duplicate-free, disjoint from v's keys.
-void batch_insert_rec(Node* v, std::vector<uint64_t> b) {
-  if (b.empty()) return;
+std::vector<int64_t> group_starts(const Node* v,
+                                  const std::vector<uint64_t>& b) {
+  return group_starts(v, b.data(), static_cast<int64_t>(b.size()));
+}
+
+// Alg. 4 over a mutable span [b, b+m): sorted, duplicate-free, disjoint from
+// v's keys. The recursion works *in place* — per-high groups are rewritten
+// to their low bits inside the span and recursed on as sub-spans, so no
+// per-node vectors are allocated. The span never needs to grow: a displaced
+// old min (max) is re-inserted only when the batch's front (back) key was
+// just consumed, so the freed boundary slot is reused for the shifted
+// insertion. Batches at or below kSerialBatch run fully sequentially with
+// zero heap traffic (summary scratch lives on the stack).
+constexpr int64_t kSerialBatch = 1024;
+
+void batch_insert_rec(Node* v, uint64_t* b, int64_t m, Arena& arena) {
+  if (m == 0) return;
   if (v->base()) {
-    for (uint64_t x : b) v->mask |= uint64_t{1} << x;
+    for (int64_t i = 0; i < m; i++) v->mask |= uint64_t{1} << b[i];
     v->base_sync_minmax();
     return;
   }
   if (v->is_empty()) {
-    v->min = b.front();
-    v->max = b.back();  // == min when |b| == 1
-    b.erase(b.begin());
-    if (!b.empty()) b.pop_back();
+    v->min = b[0];
+    v->max = b[m - 1];  // == min when m == 1
+    b++;
+    m--;
+    if (m > 0) m--;
   } else {
     // Lines 2-5: swap min/max with the batch boundaries, push the displaced
     // keys back into the (sorted) batch.
     uint64_t old_min = v->min, old_max = v->max;
-    uint64_t new_min = std::min(old_min, b.front());
-    uint64_t new_max = std::max(old_max, b.back());
-    if (b.front() == new_min) b.erase(b.begin());
-    if (!b.empty() && b.back() == new_max) b.pop_back();
-    auto push_back_key = [&](uint64_t x) {
-      b.insert(std::lower_bound(b.begin(), b.end(), x), x);
-    };
-    if (old_min != new_min && old_min != new_max) push_back_key(old_min);
+    uint64_t new_min = std::min(old_min, b[0]);
+    uint64_t new_max = std::max(old_max, b[m - 1]);
+    if (b[0] == new_min) {
+      b++;
+      m--;
+    }
+    if (m > 0 && b[m - 1] == new_max) m--;
+    if (old_min != new_min && old_min != new_max) {
+      // The front slot was just freed (new_min came from the batch).
+      int64_t idx = std::lower_bound(b, b + m, old_min) - b;
+      b--;
+      std::memmove(b, b + 1, idx * sizeof(uint64_t));
+      b[idx] = old_min;
+      m++;
+    }
     if (old_max != new_max && old_max != new_min && old_max != old_min) {
-      push_back_key(old_max);
+      // The back slot was just freed (new_max came from the batch).
+      int64_t idx = std::lower_bound(b, b + m, old_max) - b;
+      std::memmove(b + idx + 1, b + idx, (m - idx) * sizeof(uint64_t));
+      b[idx] = old_max;
+      m++;
     }
     v->min = new_min;
     v->max = new_max;
   }
-  if (b.empty()) return;
+  if (m == 0) return;
 
-  // Group by high bits; initialize previously-empty clusters with their
-  // smallest key (O(1) each), collect the new high bits for the summary.
-  auto starts = group_starts(v, b);
+  if (m <= kSerialBatch) {
+    // Sequential path: group, initialize empty clusters, rewrite each group
+    // to low bits in place, recurse. The summary batch is transient scratch,
+    // so it lives on the stack (at most one entry per group, and m <=
+    // kSerialBatch bounds the frame; recursion depth is O(log log U)) — the
+    // arena only ever holds live structure.
+    uint64_t new_high[kSerialBatch];
+    int64_t nnew = 0;
+    for (int64_t s = 0; s < m;) {
+      uint64_t h = v->high(b[s]);
+      int64_t e = s + 1;
+      while (e < m && v->high(b[e]) == h) e++;
+      Node* c = v->ensure_cluster(h, arena);
+      if (c->is_empty()) {
+        new_high[nnew++] = h;
+        c->make_singleton(v->low(b[s]));
+        s++;  // consumed
+      }
+      for (int64_t i = s; i < e; i++) b[i] = v->low(b[i]);
+      batch_insert_rec(c, b + s, e - s, arena);
+      s = e;
+    }
+    if (nnew) batch_insert_rec(v->ensure_summary(arena), new_high, nnew, arena);
+    return;
+  }
+
+  // Parallel path (large batches near the root). Group by high bits;
+  // initialize previously-empty clusters with their smallest key (O(1)
+  // each), collect the new high bits for the summary.
+  auto starts = group_starts(v, b, m);
   int64_t ngroups = static_cast<int64_t>(starts.size()) - 1;
   std::vector<uint64_t> new_high;
-  std::vector<std::vector<uint64_t>> lows(ngroups);
+  std::vector<int64_t> sub_start(ngroups);
   for (int64_t g = 0; g < ngroups; g++) {
-    int64_t s = starts[g], e = starts[g + 1];
+    int64_t s = starts[g];
     uint64_t h = v->high(b[s]);
-    Node* c = v->ensure_cluster(h);
+    Node* c = v->ensure_cluster(h, arena);
     if (c->is_empty()) {
       new_high.push_back(h);
       c->make_singleton(v->low(b[s]));
       s++;  // consumed
     }
-    lows[g].reserve(e - s);
-    for (int64_t i = s; i < e; i++) lows[g].push_back(v->low(b[i]));
+    sub_start[g] = s;
   }
-  // Lines 13-16: summary and all clusters in parallel.
+  // Lines 13-16: summary and all clusters in parallel; each group's keys are
+  // rewritten to their low bits in place and recursed on as a sub-span.
   par_do(
       [&] {
         if (!new_high.empty()) {
-          batch_insert_rec(v->ensure_summary(), std::move(new_high));
+          batch_insert_rec(v->ensure_summary(arena), new_high.data(),
+                           static_cast<int64_t>(new_high.size()), arena);
         }
       },
       [&] {
         parallel_for(0, ngroups, [&](int64_t g) {
-          if (lows[g].empty()) return;
-          Node* c = v->cluster(v->high(b[starts[g]]));
-          batch_insert_rec(c, std::move(lows[g]));
+          int64_t s = sub_start[g], e = starts[g + 1];
+          if (s >= e) return;
+          Node* c = v->cluster(v->high(b[s]));
+          for (int64_t i = s; i < e; i++) b[i] = v->low(b[i]);
+          batch_insert_rec(c, b + s, e - s, arena);
         });
       });
 }
@@ -422,7 +477,7 @@ void batch_delete_rec(Node* v, std::vector<uint64_t> b,
                                                             : kNone);
   }
   if (!hb.empty()) {
-    batch_delete_rec(v->summary.get(), std::move(hb), std::move(hp),
+    batch_delete_rec(v->summary, std::move(hb), std::move(hp),
                      std::move(hs));
   }
 }
@@ -433,17 +488,20 @@ void batch_delete_rec(Node* v, std::vector<uint64_t> b,
 
 namespace {
 
+// Pool-allocated from a per-range() Arena: the split tree is built and torn
+// down in bulk, so per-node unique_ptr churn would be pure overhead.
 struct RangeNode {
   uint64_t value;
   int64_t size = 1;
-  std::unique_ptr<RangeNode> left, right;
+  RangeNode* left = nullptr;
+  RangeNode* right = nullptr;
 };
 
 // Keys a <= b, both present in v. Builds the result tree by repeated
 // median-predecessor splitting; numeric range halves each level.
-std::unique_ptr<RangeNode> build_range_tree(const Node* v, uint64_t a,
-                                            uint64_t b) {
-  auto node = std::make_unique<RangeNode>();
+RangeNode* build_range_tree(const Node* v, uint64_t a, uint64_t b,
+                            Arena& arena) {
+  RangeNode* node = arena.create<RangeNode>();
   if (a == b) {
     node->value = a;
     return node;
@@ -456,13 +514,13 @@ std::unique_ptr<RangeNode> build_range_tree(const Node* v, uint64_t a,
   auto do_left = [&] {
     if (mid > a) {
       uint64_t lb = node_pred_lt(v, mid);
-      node->left = build_range_tree(v, a, lb);
+      node->left = build_range_tree(v, a, lb, arena);
     }
   };
   auto do_right = [&] {
     if (mid < b) {
       uint64_t rb = node_succ_gt(v, mid);
-      node->right = build_range_tree(v, rb, b);
+      node->right = build_range_tree(v, rb, b, arena);
     }
   };
   if (parallel) {
@@ -481,11 +539,11 @@ void flatten_range_tree(const RangeNode* t, uint64_t* out) {
   int64_t lsize = t->left ? t->left->size : 0;
   out[lsize] = t->value;
   if (t->size > 4096) {
-    par_do([&] { flatten_range_tree(t->left.get(), out); },
-           [&] { flatten_range_tree(t->right.get(), out + lsize + 1); });
+    par_do([&] { flatten_range_tree(t->left, out); },
+           [&] { flatten_range_tree(t->right, out + lsize + 1); });
   } else {
-    flatten_range_tree(t->left.get(), out);
-    flatten_range_tree(t->right.get(), out + lsize + 1);
+    flatten_range_tree(t->left, out);
+    flatten_range_tree(t->right, out + lsize + 1);
   }
 }
 
@@ -499,39 +557,58 @@ VebTree::VebTree(uint64_t universe) : universe_(universe) {
   assert(universe >= 1);
   int bits = 1;
   while ((uint64_t{1} << bits) < universe && bits < 63) bits++;
-  root_ = std::make_unique<Node>(bits);
+  root_ = arena_.create<Node>(bits);
 }
 
 VebTree::~VebTree() = default;
-VebTree::VebTree(VebTree&&) noexcept = default;
-VebTree& VebTree::operator=(VebTree&&) noexcept = default;
+
+VebTree::VebTree(VebTree&& o) noexcept
+    : arena_(std::move(o.arena_)),
+      root_(o.root_),
+      universe_(o.universe_),
+      size_(o.size_) {
+  o.root_ = nullptr;  // moved-from: destroy or assign over only
+  o.size_ = 0;
+}
+
+VebTree& VebTree::operator=(VebTree&& o) noexcept {
+  if (this != &o) {
+    arena_ = std::move(o.arena_);  // releases this tree's previous nodes
+    root_ = o.root_;
+    universe_ = o.universe_;
+    size_ = o.size_;
+    o.root_ = nullptr;
+    o.size_ = 0;
+  }
+  return *this;
+}
 
 bool VebTree::contains(uint64_t x) const {
-  return x < universe_ && node_contains(root_.get(), x);
+  return x < universe_ && node_contains(root_, x);
 }
 
 std::optional<uint64_t> VebTree::min() const {
-  uint64_t m = node_min(root_.get());
+  uint64_t m = node_min(root_);
   if (m == kNone) return std::nullopt;
   return m;
 }
 
 std::optional<uint64_t> VebTree::max() const {
-  uint64_t m = node_max(root_.get());
+  uint64_t m = node_max(root_);
   if (m == kNone) return std::nullopt;
   return m;
 }
 
 std::optional<uint64_t> VebTree::pred_lt(uint64_t x) const {
   if (x >= universe_) x = universe_;  // clamp: pred of anything above
-  uint64_t r = x == 0 ? kNone : node_pred_lt(root_.get(), x);
+  uint64_t r = x == 0 ? kNone : node_pred_lt(root_, x);
   if (r == kNone) return std::nullopt;
   return r;
 }
 
 std::optional<uint64_t> VebTree::succ_gt(uint64_t x) const {
   if (x >= universe_) return std::nullopt;
-  uint64_t r = node_succ_gt(root_.get(), x);
+  uint64_t r = node_succ_gt(root_, x);
   if (r == kNone) return std::nullopt;
   return r;
 }
@@ -549,22 +626,24 @@ std::optional<uint64_t> VebTree::succ_geq(uint64_t x) const {
 void VebTree::insert(uint64_t x) {
   assert(x < universe_);
   if (contains(x)) return;
-  node_insert(root_.get(), x);
+  node_insert(root_, x, arena_);
   size_++;
 }
 
 void VebTree::erase(uint64_t x) {
   if (!contains(x)) return;
-  node_erase(root_.get(), x);
+  node_erase(root_, x);
   size_--;
 }
 
 int64_t VebTree::batch_insert(const std::vector<uint64_t>& batch) {
+  // Empty tree: nothing to filter against, take the batch as-is.
   std::vector<uint64_t> b =
-      filter(batch, [&](uint64_t x) { return !contains(x); });
+      empty() ? batch
+              : filter(batch, [&](uint64_t x) { return !contains(x); });
   int64_t inserted = static_cast<int64_t>(b.size());
   if (inserted == 0) return 0;
-  batch_insert_rec(root_.get(), std::move(b));
+  batch_insert_rec(root_, b.data(), inserted, arena_);
   size_ += inserted;
   return inserted;
 }
@@ -580,10 +659,10 @@ int64_t VebTree::batch_delete(const std::vector<uint64_t>& batch) {
   std::vector<uint64_t> p_map(m), s_map(m);
   constexpr uint64_t kCopy = kNone - 1;  // "inherit from neighbour" marker
   parallel_for(0, m, [&](int64_t i) {
-    uint64_t p = node_pred_lt(root_.get(), b[i]);
+    uint64_t p = node_pred_lt(root_, b[i]);
     bool in_b = p != kNone && i > 0 && p == b[i - 1];
     p_map[i] = in_b ? kCopy : p;
-    uint64_t s = node_succ_gt(root_.get(), b[i]);
+    uint64_t s = node_succ_gt(root_, b[i]);
     bool s_in_b = s != kNone && i + 1 < m && s == b[i + 1];
     s_map[i] = s_in_b ? kCopy : s;
   });
@@ -604,7 +683,7 @@ int64_t VebTree::batch_delete(const std::vector<uint64_t>& batch) {
         }
       },
       [](uint64_t acc, uint64_t val) { return val == kCopy ? acc : val; });
-  batch_delete_rec(root_.get(), std::move(b), std::move(p_map),
+  batch_delete_rec(root_, std::move(b), std::move(p_map),
                    std::move(s_map));
   size_ -= deleted;
   return deleted;
@@ -615,9 +694,10 @@ std::vector<uint64_t> VebTree::range(uint64_t lo, uint64_t hi) const {
   std::optional<uint64_t> a = succ_geq(lo);
   if (!a || *a > hi) return {};
   std::optional<uint64_t> b = pred_leq(std::min(hi, universe_ - 1));
-  auto tree = build_range_tree(root_.get(), *a, *b);
+  Arena range_arena;
+  RangeNode* tree = build_range_tree(root_, *a, *b, range_arena);
   std::vector<uint64_t> out(tree->size);
-  flatten_range_tree(tree.get(), out.data());
+  flatten_range_tree(tree, out.data());
   return out;
 }
 
@@ -654,12 +734,12 @@ int64_t check_node(const Node* v, uint64_t universe) {
     check_that(!node_contains(v->cluster(v->high(v->max)), v->low(v->max)),
                "max not stored in clusters");
   }
-  uint64_t nclusters = v->clusters.empty() ? 0 : (uint64_t{1} << v->hi_bits);
+  uint64_t nclusters = v->clusters ? (uint64_t{1} << v->hi_bits) : 0;
   int64_t in_clusters = 0;
   for (uint64_t h = 0; h < nclusters; h++) {
     const Node* c = v->cluster(h);
     bool nonempty = c && !c->is_empty();
-    bool in_summary = v->summary && node_contains(v->summary.get(), h);
+    bool in_summary = v->summary && node_contains(v->summary, h);
     check_that(nonempty == in_summary, "summary matches nonempty clusters");
     if (nonempty) {
       int64_t sub = check_node(c, uint64_t{1} << v->lo_bits);
@@ -669,14 +749,14 @@ int64_t check_node(const Node* v, uint64_t universe) {
       in_clusters += sub;
     }
   }
-  if (v->summary) check_node(v->summary.get(), uint64_t{1} << v->hi_bits);
+  if (v->summary) check_node(v->summary, uint64_t{1} << v->hi_bits);
   return count + in_clusters;
 }
 
 }  // namespace
 
 int64_t VebTree::check_invariants() const {
-  int64_t found = check_node(root_.get(), uint64_t{1} << root_->bits);
+  int64_t found = check_node(root_, uint64_t{1} << root_->bits);
   check_that(found == size_, "key count matches size()");
   return found;
 }

@@ -21,9 +21,10 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <vector>
+
+#include "parlis/util/arena.hpp"
 
 namespace parlis {
 
@@ -33,7 +34,13 @@ class VebTree {
   static constexpr uint64_t kNone = ~uint64_t{0};
 
   /// Opaque recursive node type (public so the implementation's free
-  /// helper functions can name it; not part of the API surface).
+  /// helper functions can name it; not part of the API surface). Nodes and
+  /// cluster tables are pool-allocated from the tree's arena: creating a
+  /// lazily-materialized cluster is a per-worker pointer bump instead of a
+  /// make_unique hitting the global allocator, and teardown frees the whole
+  /// structure in O(#chunks). Moving the tree moves the arena (and thus
+  /// every node) with it; a moved-from tree may only be destroyed or
+  /// assigned over.
   struct Node;
 
   /// Creates an empty set over universe [0, universe); universe >= 1.
@@ -79,8 +86,12 @@ class VebTree {
   /// on violation; returns the number of keys found.
   int64_t check_invariants() const;
 
+  /// Bytes the node pool has reserved (testing/introspection hook).
+  size_t pool_reserved_bytes() const { return arena_.reserved_bytes(); }
+
  private:
-  std::unique_ptr<Node> root_;
+  Arena arena_;
+  Node* root_ = nullptr;  // owned by arena_
   uint64_t universe_;
   int64_t size_ = 0;
 };

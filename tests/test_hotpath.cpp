@@ -1,0 +1,197 @@
+// Coverage for the hot-path overhaul: WorkerCounter exactness under
+// concurrent increments, tournament-tree scratch reuse across interleaved
+// extraction flavours, and vEB node-pool behaviour across move-assignment
+// and destruction (the latter is most valuable under the Debug+sanitizer CI
+// job, where any dangling arena pointer aborts the run).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "parlis/lis/tournament_tree.hpp"
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/random.hpp"
+#include "parlis/parallel/worker_counter.hpp"
+#include "parlis/util/generators.hpp"
+#include "parlis/veb/veb_tree.hpp"
+
+namespace parlis {
+namespace {
+
+// ------------------------------------------------------- WorkerCounter ---
+
+TEST(WorkerCounter, ConcurrentIncrementsSumExactly) {
+  WorkerCounter c;
+  const int64_t kN = 1 << 19;
+  parallel_for(0, kN, [&](int64_t) { c.add(); });
+  EXPECT_EQ(c.read(), static_cast<uint64_t>(kN));
+  c.add(5);
+  EXPECT_EQ(c.read(), static_cast<uint64_t>(kN) + 5);
+  c.reset();
+  EXPECT_EQ(c.read(), 0u);
+  parallel_for(0, kN, [&](int64_t) { c.add(3); });
+  EXPECT_EQ(c.read(), static_cast<uint64_t>(3 * kN));
+}
+
+TEST(WorkerCounter, MoveTransfersCounts) {
+  WorkerCounter a;
+  a.add(7);
+  WorkerCounter b = std::move(a);
+  EXPECT_EQ(b.read(), 7u);
+  b.add(1);
+  EXPECT_EQ(b.read(), 8u);
+}
+
+TEST(SchedulerStats, SpawnsAccumulateUnderForkJoin) {
+  SchedulerStats before = scheduler_stats();
+  std::atomic<int64_t> sum{0};
+  parallel_for(0, 1 << 16, [&](int64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  SchedulerStats after = scheduler_stats();
+  EXPECT_GE(after.spawns, before.spawns);
+  EXPECT_GE(after.steals, before.steals);
+  if (num_workers() > 1) {
+    // The parallel_for above must have forked at least once.
+    EXPECT_GT(after.spawns, before.spawns);
+  }
+}
+
+// ------------------------------------- interleaved frontier extraction ---
+
+// Runs rounds alternating between the one-pass extract_frontier, the
+// two-pass extract_frontier_collect, and the buffer-writing
+// extract_frontier_collect_into. The per-round frontiers must match a
+// reference tree driven purely by collect — this exercises reuse of the
+// persistent count_ scratch against rounds that never touch it.
+TEST(TournamentTree, InterleavedExtractionFlavoursAgree) {
+  const int64_t n = 50000;
+  auto a = line_pattern(n, 300, 17);
+  TournamentTree<int64_t> mixed(a, INT64_MAX);
+  TournamentTree<int64_t> reference(a, INT64_MAX);
+
+  std::vector<int64_t> buf(n);
+  int round = 0;
+  int64_t total = 0;
+  while (!reference.empty()) {
+    std::vector<int64_t> expect = reference.extract_frontier_collect();
+    ASSERT_FALSE(mixed.empty());
+    std::vector<int64_t> got;
+    switch (round % 3) {
+      case 0: {  // one-pass, unordered reporting
+        std::atomic<int64_t> cnt{0};
+        std::vector<int64_t> raw(expect.size());
+        mixed.extract_frontier([&](int64_t i) {
+          raw[cnt.fetch_add(1, std::memory_order_relaxed)] = i;
+        });
+        ASSERT_EQ(cnt.load(), static_cast<int64_t>(expect.size()));
+        std::sort(raw.begin(), raw.end());
+        got = raw;
+        break;
+      }
+      case 1:
+        got = mixed.extract_frontier_collect();
+        break;
+      case 2: {
+        int64_t m = mixed.extract_frontier_collect_into(buf.data() + total);
+        got.assign(buf.begin() + total, buf.begin() + total + m);
+        break;
+      }
+    }
+    ASSERT_EQ(got, expect) << "round " << round;
+    total += static_cast<int64_t>(expect.size());
+    round++;
+  }
+  EXPECT_TRUE(mixed.empty());
+}
+
+// collect_into across all rounds writes each index exactly once and fills
+// the caller's n-sized buffer completely (the lis_frontiers contract).
+TEST(TournamentTree, CollectIntoFillsBufferExactlyOnce) {
+  const int64_t n = 30000;
+  auto a = range_pattern(n, 500, 23);
+  TournamentTree<int64_t> t(a, INT64_MAX);
+  std::vector<int64_t> flat(n, -1);
+  int64_t off = 0;
+  while (!t.empty()) {
+    off += t.extract_frontier_collect_into(flat.data() + off);
+    ASSERT_LE(off, n);
+  }
+  ASSERT_EQ(off, n);
+  std::vector<int64_t> sorted_flat = flat;
+  std::sort(sorted_flat.begin(), sorted_flat.end());
+  for (int64_t i = 0; i < n; i++) ASSERT_EQ(sorted_flat[i], i);
+}
+
+// --------------------------------------------------------- vEB pooling ---
+
+std::vector<uint64_t> distinct_keys(int64_t m, uint64_t seed,
+                                    uint64_t universe) {
+  std::vector<uint64_t> keys;
+  keys.reserve(2 * m);
+  for (int64_t i = 0; i < 2 * m; i++) keys.push_back(uniform(seed, i, universe));
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  if (static_cast<int64_t>(keys.size()) > m) keys.resize(m);
+  return keys;
+}
+
+TEST(VebPool, MoveConstructionKeepsNodesAlive) {
+  const uint64_t kU = uint64_t{1} << 20;
+  auto keys = distinct_keys(20000, 5, kU);
+  VebTree a(kU);
+  a.batch_insert(keys);
+  EXPECT_GT(a.pool_reserved_bytes(), 0u);
+
+  VebTree b = std::move(a);
+  EXPECT_EQ(b.size(), static_cast<int64_t>(keys.size()));
+  for (size_t i = 0; i < keys.size(); i += 97) EXPECT_TRUE(b.contains(keys[i]));
+  b.check_invariants();
+
+  // The arena travelled with the move: further growth must keep working.
+  b.insert(keys.back() == kU - 1 ? 0 : keys.back() + 1);
+  b.check_invariants();
+}
+
+TEST(VebPool, MoveAssignmentReleasesOldPoolAndAdoptsNew) {
+  const uint64_t kU = uint64_t{1} << 18;
+  auto keys = distinct_keys(5000, 9, kU);
+  VebTree target(kU);
+  target.batch_insert(distinct_keys(3000, 11, kU));  // to-be-released nodes
+
+  VebTree source(kU);
+  source.batch_insert(keys);
+  target = std::move(source);
+
+  EXPECT_EQ(target.size(), static_cast<int64_t>(keys.size()));
+  EXPECT_EQ(target.range(0, kU - 1), keys);
+  target.check_invariants();
+
+  // Mutations after the swap exercise both arena reuse and erase paths.
+  std::vector<uint64_t> half(keys.begin(), keys.begin() + keys.size() / 2);
+  target.batch_delete(half);
+  EXPECT_EQ(target.size(), static_cast<int64_t>(keys.size() - half.size()));
+  target.batch_insert(half);
+  EXPECT_EQ(target.range(0, kU - 1), keys);
+  target.check_invariants();
+}
+
+TEST(VebPool, DestructionAfterHeavyChurnIsClean) {
+  // Mostly a sanitizer target: build, churn, move, destroy.
+  const uint64_t kU = uint64_t{1} << 16;
+  for (int iter = 0; iter < 3; iter++) {
+    VebTree t(kU);
+    auto keys = distinct_keys(4000, 13 + iter, kU);
+    t.batch_insert(keys);
+    t.batch_delete(keys);
+    EXPECT_TRUE(t.empty());
+    t.batch_insert(keys);
+    VebTree moved = std::move(t);
+    EXPECT_EQ(moved.size(), static_cast<int64_t>(keys.size()));
+  }  // both trees destroyed each iteration
+}
+
+}  // namespace
+}  // namespace parlis

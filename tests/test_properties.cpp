@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "parlis/lis/lis.hpp"
+#include "parlis/lis/tournament_tree.hpp"
 #include "parlis/lis/seq_lis.hpp"
 #include "parlis/parallel/random.hpp"
 #include "parlis/util/generators.hpp"
@@ -162,6 +164,56 @@ TEST(VebProperties, RangeConcatenationCoversWholeSet) {
   }
   EXPECT_EQ(concat, keys);
 }
+
+// ------------------------------------------- Thm. 3.2 work-bound guard ---
+
+// Regression check for the blocked-layout refactor: the per-worker visit
+// counter must still certify the O(n log k) extraction bound, for both the
+// one-pass and the two-pass (collect) traversals. The blocked layout visits
+// exactly the node set of the textbook layout, so the constants of the old
+// implementation carry over (two passes cost twice the single-pass bound).
+struct VisitBoundCase {
+  bool line;
+  int64_t n;
+  int64_t k;
+  bool collect;
+};
+
+class TournamentVisitBound : public ::testing::TestWithParam<VisitBoundCase> {
+};
+
+TEST_P(TournamentVisitBound, CounterCertifiesNLogK) {
+  auto [line, n, target_k, collect] = GetParam();
+  auto a = line ? line_pattern(n, target_k, 71 + target_k)
+                : range_pattern(n, target_k, 72 + target_k);
+  TournamentTree<int64_t> t(a, INT64_MAX);
+  std::vector<int64_t> flat(n);
+  int64_t k = 0, off = 0;
+  while (!t.empty()) {
+    if (collect) {
+      off += t.extract_frontier_collect_into(flat.data() + off);
+    } else {
+      t.extract_frontier([](int64_t) {});
+    }
+    k++;
+  }
+  if (collect) {
+    ASSERT_EQ(off, n);
+  }
+  double visits = static_cast<double>(t.nodes_visited());
+  double per_pass_bound = 8.0 * static_cast<double>(n) * std::log2(k + 2.0);
+  EXPECT_LE(visits, collect ? 2.0 * per_pass_bound : per_pass_bound)
+      << "n=" << n << " k=" << k;
+  EXPECT_GE(visits, static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TournamentVisitBound,
+    ::testing::Values(VisitBoundCase{true, 1 << 18, 1000, false},
+                      VisitBoundCase{true, 1 << 18, 1000, true},
+                      VisitBoundCase{false, 1 << 18, 20000, false},
+                      VisitBoundCase{false, 1 << 18, 20000, true},
+                      VisitBoundCase{true, (1 << 18) + 3, 50, true}));
 
 // ------------------------------------------------------ cross-structure ---
 
