@@ -22,6 +22,13 @@ void parallel_for_rec(int64_t lo, int64_t hi, int64_t grain, const F& f) {
 
 }  // namespace internal
 
+/// Largest range parallel_for runs inline *before the pool exists* rather
+/// than waking the scheduler: constructing small structures (range trees,
+/// oracles, tournament trees) must have no scheduler side effects — the
+/// pool-gating contract regression-tested by test_poolgate. Once the pool
+/// is up, the usual grain heuristic decides.
+inline constexpr int64_t kPoolGateGrain = 2048;
+
 /// Applies f(i) for every i in [lo, hi) in parallel. `grain` is the largest
 /// chunk executed sequentially; 0 picks a default aimed at ~8 chunks per
 /// worker.
@@ -29,12 +36,19 @@ template <typename F>
 void parallel_for(int64_t lo, int64_t hi, const F& f, int64_t grain = 0) {
   if (hi <= lo) return;
   int64_t n = hi - lo;
+  // Checked before num_workers(): neither sequential mode nor small
+  // pre-pool work may spin up the worker pool as a side effect.
+  if (sequential_mode() ||
+      (n <= kPoolGateGrain && !internal::pool_started())) {
+    for (int64_t i = lo; i < hi; i++) f(i);
+    return;
+  }
   if (grain <= 0) {
     int64_t pieces = static_cast<int64_t>(num_workers()) * 8;
     grain = (n + pieces - 1) / pieces;
     if (grain < 1) grain = 1;
   }
-  if (n <= grain || sequential_mode() || num_workers() == 1) {
+  if (n <= grain || num_workers() == 1) {
     for (int64_t i = lo; i < hi; i++) f(i);
     return;
   }

@@ -193,6 +193,15 @@ void sort_rec(It xs, BufIt buf, int64_t n, const Less& less, bool to_buf) {
 
 }  // namespace internal
 
+/// Stable parallel merge sort of [xs, xs+n) with a caller-provided scratch
+/// buffer of the same length — for hot loops that sort every round and must
+/// not allocate (the buffer's contents are clobbered).
+template <typename T, typename Less = std::less<T>>
+void sort_with_buffer(T* xs, T* buf, int64_t n, const Less& less = Less{}) {
+  if (n < 2) return;
+  internal::sort_rec(xs, buf, n, less, /*to_buf=*/false);
+}
+
 /// Stable parallel merge sort (in place, with an O(n) temporary buffer).
 template <typename T, typename Less = std::less<T>>
 void sort_inplace(std::vector<T>& xs, const Less& less = Less{}) {

@@ -12,30 +12,39 @@ namespace parlis {
 DominanceOracle::DominanceOracle(const std::vector<int64_t>& a)
     : n_(static_cast<int64_t>(a.size())), a_(a) {
   if (n_ == 0) return;
-  int64_t width =
+  int64_t root_width =
       static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(n_)));
+  // Stored levels: widths root/2 down to 1 (the root is never read —
+  // every [0, i) decomposition stops strictly inside it).
   std::vector<Level> rev;
-  {
-    Level leaf;
-    leaf.width = 1;
-    leaf.values = a;
-    leaf.idx.resize(n_);
-    parallel_for(0, n_,
-                 [&](int64_t i) { leaf.idx[i] = static_cast<int32_t>(i); });
-    rev.push_back(std::move(leaf));
+  for (int64_t w = 1; w < root_width; w *= 2) {
+    Level lev;
+    lev.width = w;
+    rev.push_back(lev);
   }
-  while (rev.back().width < width) {
-    const Level& prev = rev.back();
-    Level next;
-    next.width = prev.width * 2;
-    next.values.resize(n_);
-    next.idx.resize(n_);
+  if (rev.empty()) {  // n == 1: no level is ever queried or erased
+    return;
+  }
+  // Leaf level (width 1): the values are the input itself — alias the a_
+  // member (its heap buffer is stable across moves) instead of copying.
+  {
+    Level& leaf = rev.front();
+    int32_t* idx = arena_.create_array_uninit<int32_t>(n_);
+    parallel_for(0, n_, [&](int64_t i) { idx[i] = static_cast<int32_t>(i); });
+    leaf.values = a_.data();
+    leaf.idx = idx;
+  }
+  // Coarser levels merge adjacent child blocks by (value, index).
+  for (size_t l = 1; l < rev.size(); l++) {
+    const Level& prev = rev[l - 1];
+    Level& next = rev[l];
+    int64_t* values = arena_.create_array_uninit<int64_t>(n_);
+    int32_t* idx = arena_.create_array_uninit<int32_t>(n_);
     int64_t nblocks = (n_ + next.width - 1) / next.width;
     parallel_for(0, nblocks, [&](int64_t blk) {
       int64_t lo = blk * next.width;
       int64_t mid = std::min(n_, lo + prev.width);
       int64_t hi = std::min(n_, lo + next.width);
-      // Merge (value, idx) pairs; materialize via index merge.
       int64_t i = lo, j = mid, o = lo;
       auto less = [&](int64_t x, int64_t y) {
         return prev.values[x] != prev.values[y]
@@ -44,37 +53,39 @@ DominanceOracle::DominanceOracle(const std::vector<int64_t>& a)
       };
       while (i < mid && j < hi) {
         int64_t src = less(i, j) ? i++ : j++;
-        next.values[o] = prev.values[src];
-        next.idx[o++] = prev.idx[src];
+        values[o] = prev.values[src];
+        idx[o++] = prev.idx[src];
       }
       while (i < mid) {
-        next.values[o] = prev.values[i];
-        next.idx[o++] = prev.idx[i++];
+        values[o] = prev.values[i];
+        idx[o++] = prev.idx[i++];
       }
       while (j < hi) {
-        next.values[o] = prev.values[j];
-        next.idx[o++] = prev.idx[j++];
+        values[o] = prev.values[j];
+        idx[o++] = prev.idx[j++];
       }
     });
-    rev.push_back(std::move(next));
+    next.values = values;
+    next.idx = idx;
   }
+  // All-alive Fenwick trees: slot i-1 (1-based i) holds the number of alive
+  // entries in (i - lowbit(i), i] — written directly, no zeroing pass.
   for (Level& lev : rev) {
-    lev.alive = std::make_unique<std::atomic<int32_t>[]>(n_);
+    // Raw arena bytes: every slot is placement-constructed below (blocks
+    // tile [0, n)), so no zeroing pass is paid first.
+    auto* alive = static_cast<std::atomic<int32_t>*>(arena_.alloc(
+        n_ * sizeof(std::atomic<int32_t>), alignof(std::atomic<int32_t>)));
     int64_t nblocks = (n_ + lev.width - 1) / lev.width;
-    parallel_for(0, n_, [&](int64_t i) {
-      lev.alive[i].store(0, std::memory_order_relaxed);
-    });
-    // Initialize the Fenwick trees to all-alive: slot i-1 (1-based i) holds
-    // the number of alive entries in (i - lowbit(i), i].
     parallel_for(0, nblocks, [&](int64_t blk) {
       int64_t lo = blk * lev.width;
       int64_t len = std::min(n_, lo + lev.width) - lo;
-      std::atomic<int32_t>* f = lev.alive.get() + lo;
+      std::atomic<int32_t>* f = alive + lo;
       for (int64_t i = 1; i <= len; i++) {
-        f[i - 1].store(static_cast<int32_t>(i & (-i)),
-                       std::memory_order_relaxed);
+        ::new (static_cast<void*>(&f[i - 1]))
+            std::atomic<int32_t>(static_cast<int32_t>(i & (-i)));
       }
     });
+    lev.alive = alive;
   }
   levels_.assign(std::make_move_iterator(rev.rbegin()),
                  std::make_move_iterator(rev.rend()));
@@ -116,8 +127,8 @@ int64_t DominanceOracle::fenwick_select(const std::atomic<int32_t>* f,
 
 int64_t DominanceOracle::entry_pos(const Level& lev, int64_t block_start,
                                    int64_t len, int64_t i) const {
-  const int64_t* vals = lev.values.data() + block_start;
-  const int32_t* idx = lev.idx.data() + block_start;
+  const int64_t* vals = lev.values + block_start;
+  const int32_t* idx = lev.idx + block_start;
   int64_t lo = 0, hi = len;
   while (lo < hi) {
     int64_t mid = (lo + hi) / 2;
@@ -134,23 +145,23 @@ int64_t DominanceOracle::count_dominators(int64_t i) const {
   // value < a_[i] (strict, so ties never count).
   int64_t total = 0;
   int64_t node_start = 0;
-  for (size_t d = 0; d + 1 < levels_.size(); d++) {
-    const Level& child = levels_[d + 1];
+  for (size_t d = 0; d < levels_.size(); d++) {
+    const Level& child = levels_[d];
     int64_t mid = node_start + child.width;
     if (i >= mid) {
       int64_t len = std::min(mid, n_) - node_start;
       if (len > 0) {
-        const int64_t* vals = child.values.data() + node_start;
+        const int64_t* vals = child.values + node_start;
         int64_t cnt = std::lower_bound(vals, vals + len, a_[i]) - vals;
         if (cnt > 0) {
-          total += fenwick_prefix(child.alive.get() + node_start, cnt);
+          total += fenwick_prefix(child.alive + node_start, cnt);
         }
       }
       if (i == mid) return total;
       node_start = mid;
     }
   }
-  if (i > node_start && node_start < n_) {
+  if (i > node_start && node_start < n_ && !levels_.empty()) {
     const Level& leaf = levels_.back();
     if (leaf.values[node_start] < a_[i]) {
       total += leaf.alive[node_start].load(std::memory_order_relaxed);
@@ -161,19 +172,18 @@ int64_t DominanceOracle::count_dominators(int64_t i) const {
 
 int64_t DominanceOracle::kth_dominator(int64_t i, int64_t r) const {
   int64_t node_start = 0;
-  for (size_t d = 0; d + 1 < levels_.size(); d++) {
-    const Level& child = levels_[d + 1];
+  for (size_t d = 0; d < levels_.size(); d++) {
+    const Level& child = levels_[d];
     int64_t mid = node_start + child.width;
     if (i >= mid) {
       int64_t len = std::min(mid, n_) - node_start;
       if (len > 0) {
-        const int64_t* vals = child.values.data() + node_start;
+        const int64_t* vals = child.values + node_start;
         int64_t cnt = std::lower_bound(vals, vals + len, a_[i]) - vals;
         int64_t here =
-            cnt > 0 ? fenwick_prefix(child.alive.get() + node_start, cnt) : 0;
+            cnt > 0 ? fenwick_prefix(child.alive + node_start, cnt) : 0;
         if (r <= here) {
-          int64_t pos =
-              fenwick_select(child.alive.get() + node_start, len, r);
+          int64_t pos = fenwick_select(child.alive + node_start, len, r);
           return child.idx[node_start + pos];
         }
         r -= here;
@@ -185,7 +195,7 @@ int64_t DominanceOracle::kth_dominator(int64_t i, int64_t r) const {
       node_start = mid;
     }
   }
-  if (i > node_start && node_start < n_) {
+  if (i > node_start && node_start < n_ && !levels_.empty()) {
     const Level& leaf = levels_.back();
     if (leaf.values[node_start] < a_[i] &&
         leaf.alive[node_start].load(std::memory_order_relaxed) > 0 && r == 1) {
@@ -199,10 +209,10 @@ int64_t DominanceOracle::kth_dominator(int64_t i, int64_t r) const {
 void DominanceOracle::erase(int64_t i) {
   for (size_t d = 0; d < levels_.size(); d++) {
     const Level& lev = levels_[d];
-    int64_t block = (i / lev.width) * lev.width;
+    int64_t block = i & ~(lev.width - 1);
     int64_t len = std::min(block + lev.width, n_) - block;
     int64_t pos = entry_pos(lev, block, len, i);
-    fenwick_add(lev.alive.get() + block, len, pos, -1);
+    fenwick_add(lev.alive + block, len, pos, -1);
   }
 }
 

@@ -11,18 +11,30 @@
 //
 // This is the range structure SWGS pays O(log^2 n) per probe for, giving
 // the O(n log^3 n)-whp total work of their wake-up scheme.
+//
+// Storage follows the WLIS range structures: every level's (values, idx,
+// alive-Fenwick) triple is a flat array drawn from one Arena — no per-level
+// make_unique — and the root level, which queries decompose past but never
+// read, is not materialized at all (erase skips it too: one less Fenwick
+// walk per deletion).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
 #include <vector>
+
+#include "parlis/util/arena.hpp"
 
 namespace parlis {
 
 class DominanceOracle {
  public:
   explicit DominanceOracle(const std::vector<int64_t>& a);
+
+  // Level arrays are plain pointers into arena chunks; moves transfer the
+  // chunks without relocating them.
+  DominanceOracle(DominanceOracle&&) noexcept = default;
+  DominanceOracle& operator=(DominanceOracle&&) noexcept = default;
 
   int64_t n() const { return n_; }
 
@@ -37,12 +49,18 @@ class DominanceOracle {
   /// concurrently with count/kth (the SWGS rounds are phase-separated).
   void erase(int64_t i);
 
+  /// Bytes the level arrays reserved from the arena (introspection hook).
+  size_t pool_reserved_bytes() const { return arena_.reserved_bytes(); }
+
  private:
+  // levels_[0] has width bit_ceil(n)/2 (the root's children — the root
+  // itself is never a canonical node of any [0, i) decomposition);
+  // levels_.back() has width 1.
   struct Level {
-    int64_t width;
-    std::vector<int64_t> values;  // per block: sorted values
-    std::vector<int32_t> idx;     // original index of each sorted entry
-    std::unique_ptr<std::atomic<int32_t>[]> alive;  // Fenwick per block
+    int64_t width = 0;
+    const int64_t* values = nullptr;          // per block: sorted values
+    const int32_t* idx = nullptr;             // original index per entry
+    std::atomic<int32_t>* alive = nullptr;    // Fenwick per block
   };
 
   // Fenwick over [0, len): prefix sum of first `count` entries.
@@ -58,8 +76,9 @@ class DominanceOracle {
                     int64_t i) const;
 
   int64_t n_;
+  Arena arena_;
   std::vector<int64_t> a_;
-  std::vector<Level> levels_;  // levels_[0] = root
+  std::vector<Level> levels_;
 };
 
 }  // namespace parlis

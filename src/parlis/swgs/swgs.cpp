@@ -104,16 +104,19 @@ SwgsWlisResult swgs_wlis(const std::vector<int64_t>& a,
                                                         : p;
   }
   RangeTreeMax rs(y_by_pos);
+  std::vector<ScoreUpdate> batch(n);  // frontiers partition [0, n): reused
   SwgsResult rounds = run_rounds(
       a, seed, [&](int32_t, const std::vector<int64_t>& frontier) {
-        parallel_for(0, static_cast<int64_t>(frontier.size()), [&](int64_t t) {
+        int64_t fn = static_cast<int64_t>(frontier.size());
+        parallel_for(0, fn, [&](int64_t t) {
           int64_t j = frontier[t];
           int64_t q = rs.dominant_max(qpos[j], j);
           res.dp[j] = w[j] + std::max<int64_t>(0, q);
         });
-        parallel_for(0, static_cast<int64_t>(frontier.size()), [&](int64_t t) {
-          rs.update(pos[frontier[t]], res.dp[frontier[t]]);
+        parallel_for(0, fn, [&](int64_t t) {
+          batch[t] = {pos[frontier[t]], res.dp[frontier[t]]};
         });
+        rs.update_batch(batch.data(), fn);
       });
   res.k = rounds.k;
   res.best = reduce_index<int64_t>(

@@ -85,6 +85,17 @@ class Arena {
     return p;
   }
 
+  /// Uninitialized array of n trivial Ts — for arrays the caller fully
+  /// overwrites anyway (merge outputs, scatter targets), where the
+  /// value-initialization of create_array would be a wasted memory pass.
+  template <typename T>
+  T* create_array_uninit(size_t n) {
+    static_assert(std::is_trivially_default_constructible_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "uninitialized arrays are for trivial types only");
+    return static_cast<T*>(alloc(n * sizeof(T), alignof(T)));
+  }
+
   /// Total bytes reserved from the system so far (testing/introspection).
   size_t reserved_bytes() const {
     std::lock_guard<std::mutex> lk(mu_);

@@ -7,7 +7,13 @@
 
 namespace parlis {
 
-MonoVeb::MonoVeb(uint64_t universe) : keys_(universe), score_(universe, 0) {}
+MonoVeb::MonoVeb(uint64_t universe)
+    : own_pool_(std::make_unique<Arena>()),
+      keys_(universe, own_pool_.get()),
+      score_(own_pool_->create_array<int64_t>(universe)) {}
+
+MonoVeb::MonoVeb(uint64_t universe, Arena* pool)
+    : keys_(universe, pool), score_(pool->create_array<int64_t>(universe)) {}
 
 MonoVeb::MaxBelow MonoVeb::max_below(uint64_t q) const {
   auto p = keys_.pred_lt(q);
@@ -48,9 +54,8 @@ uint64_t MonoVeb::find_index(int64_t limit, uint64_t s, uint64_t e) const {
   return lo;
 }
 
-std::vector<uint64_t> MonoVeb::covered_by(
-    const std::vector<Point>& batch) const {
-  int64_t m = static_cast<int64_t>(batch.size());
+std::vector<uint64_t> MonoVeb::covered_by(const Point* batch,
+                                          int64_t m) const {
   if (m == 0 || keys_.empty()) return {};
   // Per batch point: the contiguous run of tree keys it covers, clipped at
   // the next batch point (so runs are disjoint).
@@ -82,9 +87,8 @@ std::vector<uint64_t> MonoVeb::covered_by(
   return out;
 }
 
-void MonoVeb::insert_staircase(std::vector<Point> batch) {
-  if (batch.empty()) return;
-  int64_t m = static_cast<int64_t>(batch.size());
+void MonoVeb::insert_staircase(const Point* batch, int64_t m) {
+  if (m == 0) return;
   // Step 2a: drop points covered inside the batch (keep strictly increasing
   // scores along keys) — a prefix-max filter.
   std::vector<int64_t> prefix(m);

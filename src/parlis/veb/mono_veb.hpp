@@ -11,11 +11,18 @@
 // refine the incoming batch against itself and the current staircase,
 // find the tree points the batch covers (CoveredBy, Alg. 7), batch-delete
 // them and batch-insert the refined batch.
+//
+// Storage: the key tree and the score table both live in an Arena — the
+// tree's own by default, or a caller-shared pool (the Range-vEB owns one
+// pool for all its O(n) inner trees, so creating them is a pointer bump
+// per tree instead of a chunk allocation per tree).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "parlis/util/arena.hpp"
 #include "parlis/veb/veb_tree.hpp"
 
 namespace parlis {
@@ -27,7 +34,11 @@ class MonoVeb {
     int64_t score;  // dp value
   };
 
+  /// Self-contained tree (private arena).
   explicit MonoVeb(uint64_t universe);
+
+  /// Keys and scores drawn from `pool` (must outlive the tree).
+  MonoVeb(uint64_t universe, Arena* pool);
 
   int64_t size() const { return keys_.size(); }
   uint64_t universe() const { return keys_.universe(); }
@@ -40,13 +51,19 @@ class MonoVeb {
   };
   MaxBelow max_below(uint64_t q) const;
 
-  /// Alg. 3 Update for one inner tree. `batch` must be sorted by key,
-  /// duplicate-free, and disjoint from the current key set.
-  void insert_staircase(std::vector<Point> batch);
+  /// Alg. 3 Update for one inner tree over [batch, batch+m): sorted by key,
+  /// duplicate-free, keys disjoint from the current key set.
+  void insert_staircase(const Point* batch, int64_t m);
+  void insert_staircase(const std::vector<Point>& batch) {
+    insert_staircase(batch.data(), static_cast<int64_t>(batch.size()));
+  }
 
   /// Alg. 7: returns the keys of the tree points covered by `batch`
   /// (sorted ascending). Exposed for testing; insert_staircase uses it.
-  std::vector<uint64_t> covered_by(const std::vector<Point>& batch) const;
+  std::vector<uint64_t> covered_by(const Point* batch, int64_t m) const;
+  std::vector<uint64_t> covered_by(const std::vector<Point>& batch) const {
+    return covered_by(batch.data(), static_cast<int64_t>(batch.size()));
+  }
 
   /// Testing hook: asserts scores are strictly increasing along keys.
   void check_staircase() const;
@@ -61,8 +78,9 @@ class MonoVeb {
   // then binary-searches the key space.
   uint64_t find_index(int64_t limit, uint64_t s, uint64_t e) const;
 
+  std::unique_ptr<Arena> own_pool_;  // null when sharing a pool
   VebTree keys_;
-  std::vector<int64_t> score_;  // score_[key], valid while key in keys_
+  int64_t* score_;  // score_[key], valid while key in keys_; pool-owned
 };
 
 }  // namespace parlis

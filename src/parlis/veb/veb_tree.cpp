@@ -553,17 +553,29 @@ int64_t check_node(const Node* v, uint64_t universe);
 
 // ------------------------------------------------------------- public API
 
-VebTree::VebTree(uint64_t universe) : universe_(universe) {
+VebTree::VebTree(uint64_t universe)
+    : own_arena_(std::make_unique<Arena>()),
+      arena_(own_arena_.get()),
+      universe_(universe) {
   assert(universe >= 1);
   int bits = 1;
   while ((uint64_t{1} << bits) < universe && bits < 63) bits++;
-  root_ = arena_.create<Node>(bits);
+  root_ = arena_->create<Node>(bits);
+}
+
+VebTree::VebTree(uint64_t universe, Arena* pool)
+    : arena_(pool), universe_(universe) {
+  assert(universe >= 1 && pool != nullptr);
+  int bits = 1;
+  while ((uint64_t{1} << bits) < universe && bits < 63) bits++;
+  root_ = arena_->create<Node>(bits);
 }
 
 VebTree::~VebTree() = default;
 
 VebTree::VebTree(VebTree&& o) noexcept
-    : arena_(std::move(o.arena_)),
+    : own_arena_(std::move(o.own_arena_)),
+      arena_(o.arena_),
       root_(o.root_),
       universe_(o.universe_),
       size_(o.size_) {
@@ -573,7 +585,10 @@ VebTree::VebTree(VebTree&& o) noexcept
 
 VebTree& VebTree::operator=(VebTree&& o) noexcept {
   if (this != &o) {
-    arena_ = std::move(o.arena_);  // releases this tree's previous nodes
+    // Releases this tree's previous nodes when it owned its arena; nodes of
+    // a shared-pool tree stay in the (outliving) pool.
+    own_arena_ = std::move(o.own_arena_);
+    arena_ = o.arena_;
     root_ = o.root_;
     universe_ = o.universe_;
     size_ = o.size_;
@@ -626,7 +641,7 @@ std::optional<uint64_t> VebTree::succ_geq(uint64_t x) const {
 void VebTree::insert(uint64_t x) {
   assert(x < universe_);
   if (contains(x)) return;
-  node_insert(root_, x, arena_);
+  node_insert(root_, x, *arena_);
   size_++;
 }
 
@@ -643,7 +658,7 @@ int64_t VebTree::batch_insert(const std::vector<uint64_t>& batch) {
               : filter(batch, [&](uint64_t x) { return !contains(x); });
   int64_t inserted = static_cast<int64_t>(b.size());
   if (inserted == 0) return 0;
-  batch_insert_rec(root_, b.data(), inserted, arena_);
+  batch_insert_rec(root_, b.data(), inserted, *arena_);
   size_ += inserted;
   return inserted;
 }

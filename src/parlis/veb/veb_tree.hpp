@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -45,6 +46,13 @@ class VebTree {
 
   /// Creates an empty set over universe [0, universe); universe >= 1.
   explicit VebTree(uint64_t universe);
+
+  /// Same, but draws every node from `pool` instead of a private arena —
+  /// for containers holding many small trees (Range-vEB inner trees), where
+  /// one chunked pool amortizes what would otherwise be a chunk per tree.
+  /// `pool` must outlive the tree; nodes of a destroyed or assigned-over
+  /// shared-pool tree stay in the pool until the pool itself dies.
+  VebTree(uint64_t universe, Arena* pool);
   ~VebTree();
   VebTree(VebTree&&) noexcept;
   VebTree& operator=(VebTree&&) noexcept;
@@ -86,12 +94,14 @@ class VebTree {
   /// on violation; returns the number of keys found.
   int64_t check_invariants() const;
 
-  /// Bytes the node pool has reserved (testing/introspection hook).
-  size_t pool_reserved_bytes() const { return arena_.reserved_bytes(); }
+  /// Bytes the node pool has reserved (testing/introspection hook; counts
+  /// the whole pool for shared-pool trees).
+  size_t pool_reserved_bytes() const { return arena_->reserved_bytes(); }
 
  private:
-  Arena arena_;
-  Node* root_ = nullptr;  // owned by arena_
+  std::unique_ptr<Arena> own_arena_;  // null for shared-pool trees
+  Arena* arena_;                      // never null while the tree is valid
+  Node* root_ = nullptr;              // owned by *arena_
   uint64_t universe_;
   int64_t size_ = 0;
 };

@@ -1,0 +1,52 @@
+// The RangeStructure concept: the dominant-max interface Alg. 2 programs
+// against (Sec. 4). A RangeStructure is built over the WLIS point set —
+// point p = (x = value-order position p, y = y_by_pos[p]) with a mutable
+// score that starts at 0 and is published exactly once — and supports
+//
+//   dominant_max(qpos, qy)   max score over points with position < qpos and
+//                            y < qy (0 when none: the identity of Eq. (2)),
+//   update_batch(u, m)       publish one frontier's scores as a batch.
+//
+// Both structures of the paper model it: RangeTreeMax (Sec. 4.1, the
+// practical O(n log^2 n) choice) and RangeVeb (Sec. 4.2, Mono-vEB inner
+// trees). The WLIS driver is written against the concept, so a new
+// structure only has to satisfy it to plug into Alg. 2 and into the
+// property tests.
+//
+// Contract notes shared by all implementations:
+//  * y_by_pos must be a permutation of [0, n) (the WLIS preprocessing
+//    always produces one: y-coordinates are the input indices).
+//  * Scores are monotone: re-publishing a position with a lower score is a
+//    no-op, equal scores are idempotent.
+//  * update_batch items must have distinct positions and be sorted by
+//    y-coordinate ascending (RangeVeb's staircase refinement needs the
+//    order; RangeTreeMax accepts any order but the concept demands the
+//    stricter contract so callers stay structure-agnostic).
+//  * dominant_max may run concurrently with other dominant_max calls, and
+//    update_batch internally parallelizes; the two phases must not overlap
+//    (Alg. 2 rounds are phase-separated).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+namespace parlis {
+
+/// One batched score publication: the point at value-order position `pos`
+/// takes score `score`.
+struct ScoreUpdate {
+  int64_t pos;    // value-order position
+  int64_t score;  // dp value
+};
+
+template <typename RS>
+concept RangeStructure =
+    std::constructible_from<RS, const std::vector<int64_t>&> &&
+    requires(RS rs, const RS crs, int64_t q, const ScoreUpdate* u, int64_t m) {
+      { crs.n() } -> std::convertible_to<int64_t>;
+      { crs.dominant_max(q, q) } -> std::convertible_to<int64_t>;
+      rs.update_batch(u, m);
+    };
+
+}  // namespace parlis

@@ -2,57 +2,148 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/primitives.hpp"
 
 namespace parlis {
 
+namespace {
+
+// Final partial nodes (and width-8 canonical children) are scanned
+// directly; the smallest materialized level therefore has width 16.
+constexpr int64_t kLeafWidth = 8;
+constexpr int64_t kLeafParentWidth = 2 * kLeafWidth;
+
+// Per-block exclusive count of "position falls in the left child": the
+// bridge table of one level. When there are few blocks (the top levels —
+// ultimately one block of size n), parallelism must come from inside the
+// block via the two-pass scan; with many blocks the parallel loop over
+// blocks already saturates the pool and each block scans sequentially.
+void fill_bridges(int64_t n, int64_t width, const int32_t* order,
+                  int32_t* bridge) {
+  int64_t nblocks = (n + width - 1) / width;
+  if (nblocks <= 8) {
+    for (int64_t b = 0; b < nblocks; b++) {
+      int64_t lo = b * width;
+      int64_t len = std::min(n, lo + width) - lo;
+      int32_t mid = static_cast<int32_t>(lo + width / 2);
+      scan_exclusive_index<int32_t>(
+          len, 0, [&](int64_t i) { return order[lo + i] < mid ? 1 : 0; },
+          [&](int64_t i, int32_t pre) { bridge[lo + i] = pre; },
+          [](int32_t a, int32_t b2) {
+            return static_cast<int32_t>(a + b2);
+          });
+    }
+    return;
+  }
+  parallel_for(0, nblocks, [&](int64_t b) {
+    int64_t lo = b * width;
+    int64_t hi = std::min(n, lo + width);
+    int32_t mid = static_cast<int32_t>(lo + width / 2);
+    int32_t cnt = 0;
+    for (int64_t i = lo; i < hi; i++) {
+      bridge[i] = cnt;
+      if (order[i] < mid) cnt++;
+    }
+  });
+}
+
+}  // namespace
+
 RangeTreeMax::RangeTreeMax(const std::vector<int64_t>& y_by_pos)
     : n_(static_cast<int64_t>(y_by_pos.size())) {
   if (n_ == 0) return;
-  int64_t width = static_cast<int64_t>(
-      std::bit_ceil(static_cast<uint64_t>(n_)));
-  // Build levels top-down conceptually, bottom-up physically: the leaf level
-  // is y_by_pos itself; each coarser level merges adjacent node blocks.
-  std::vector<Level> rev;
-  {
-    Level leaf;
-    leaf.width = 1;
-    leaf.ys = y_by_pos;
-    rev.push_back(std::move(leaf));
+  int32_t* y = arena_.create_array_uninit<int32_t>(n_);
+  parallel_for(0, n_, [&](int64_t p) {
+    assert(y_by_pos[p] >= 0 && y_by_pos[p] < n_ &&
+           "y_by_pos must be a permutation of [0, n)");
+    y[p] = static_cast<int32_t>(y_by_pos[p]);
+  });
+  y_ = y;
+  scores_ = arena_.create_array<std::atomic<int64_t>>(n_);  // zeroed
+  int64_t root_width =
+      static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(n_)));
+  if (root_width < kLeafParentWidth) return;  // scans resolve everything
+
+  // Levels from the virtual root down to width 16. The root is never a
+  // canonical node (queries always descend at least once), so it carries a
+  // bridge table only; width-16 nodes have width-8 children resolved by
+  // scans, so they carry no bridge.
+  int64_t nlevels = 0;
+  for (int64_t w = root_width; w >= kLeafParentWidth; w /= 2) nlevels++;
+  levels_.resize(nlevels);
+  for (int64_t d = 0; d < nlevels; d++) {
+    Level& lev = levels_[d];
+    lev.width = root_width >> d;
+    if (d > 0) {
+      lev.fenwick = arena_.create_array<std::atomic<int64_t>>(n_);  // zeroed
+    }
   }
-  while (rev.back().width < width) {
-    const Level& prev = rev.back();
-    Level next;
-    next.width = prev.width * 2;
-    next.ys.resize(n_);
-    int64_t nblocks = (n_ + next.width - 1) / next.width;
-    const Level* prev_ptr = &prev;
-    Level* next_ptr = &next;
-    parallel_for(0, nblocks, [&, prev_ptr, next_ptr](int64_t blk) {
-      int64_t lo = blk * next_ptr->width;
-      int64_t mid = std::min(n_, lo + prev_ptr->width);
-      int64_t hi = std::min(n_, lo + next_ptr->width);
-      merge_into(prev_ptr->ys.begin() + lo, mid - lo,
-                 prev_ptr->ys.begin() + mid, hi - mid,
-                 next_ptr->ys.begin() + lo, std::less<int64_t>{});
+
+  // Bottom-up merge: `cur` holds, per node block of the current width, the
+  // block's positions sorted by y ("pos_by_slot"). Width-16 blocks are
+  // sorted directly; each coarser level merges adjacent blocks. The sorted
+  // orders themselves are transient — only the rank scatter and the bridge
+  // counts derived from them persist.
+  std::vector<int32_t> cur(n_), nxt(n_);
+  int64_t nb16 = (n_ + kLeafParentWidth - 1) / kLeafParentWidth;
+  parallel_for(0, nb16, [&](int64_t b) {
+    int64_t lo = b * kLeafParentWidth;
+    int64_t hi = std::min(n_, lo + kLeafParentWidth);
+    for (int64_t p = lo; p < hi; p++) cur[p] = static_cast<int32_t>(p);
+    // Insertion sort by y over <= 16 entries.
+    for (int64_t i = lo + 1; i < hi; i++) {
+      int32_t v = cur[i];
+      int64_t j = i;
+      while (j > lo && y[cur[j - 1]] > y[v]) {
+        cur[j] = cur[j - 1];
+        j--;
+      }
+      cur[j] = v;
+    }
+  });
+  auto fill_level = [&](int64_t d, const std::vector<int32_t>& order) {
+    Level& lev = levels_[d];
+    if (d > 0) {
+      int32_t* rank = arena_.create_array_uninit<int32_t>(n_);
+      int64_t mask = lev.width - 1;
+      parallel_for(0, n_, [&](int64_t i) {
+        rank[order[i]] = static_cast<int32_t>(i & mask);
+      });
+      lev.rank = rank;
+    }
+    if (lev.width >= 2 * kLeafParentWidth) {
+      int32_t* bridge = arena_.create_array_uninit<int32_t>(n_);
+      fill_bridges(n_, lev.width, order.data(), bridge);
+      lev.bridge = bridge;
+    }
+  };
+  fill_level(nlevels - 1, cur);
+  for (int64_t d = nlevels - 2; d >= 0; d--) {
+    int64_t w = levels_[d].width;
+    int64_t half = w / 2;
+    int64_t nblocks = (n_ + w - 1) / w;
+    parallel_for(0, nblocks, [&](int64_t b) {
+      int64_t lo = b * w;
+      int64_t mid = std::min(n_, lo + half);
+      int64_t hi = std::min(n_, lo + w);
+      merge_into(cur.begin() + lo, mid - lo, cur.begin() + mid, hi - mid,
+                 nxt.begin() + lo,
+                 [&](int32_t p, int32_t q) { return y[p] < y[q]; });
     });
-    rev.push_back(std::move(next));
+    std::swap(cur, nxt);
+    fill_level(d, cur);
   }
-  // Allocate the Fenwick arrays (all slots 0 = "no score yet").
-  for (Level& lev : rev) {
-    lev.fenwick = std::make_unique<std::atomic<int64_t>[]>(n_);
-    parallel_for(0, n_, [&](int64_t i) {
-      lev.fenwick[i].store(0, std::memory_order_relaxed);
-    });
-  }
-  levels_.assign(std::make_move_iterator(rev.rbegin()),
-                 std::make_move_iterator(rev.rend()));
 }
 
 int64_t RangeTreeMax::fenwick_prefix_max(const std::atomic<int64_t>* f,
                                          int64_t count) {
+  // Walk addresses are arithmetic in `count`: issue them all, then read.
+  for (int64_t i = count; i > 0; i -= i & (-i)) {
+    __builtin_prefetch(&f[i - 1], 0, 1);
+  }
   int64_t best = 0;
   for (int64_t i = count; i > 0; i -= i & (-i)) {
     best = std::max(best, f[i - 1].load(std::memory_order_relaxed));
@@ -72,53 +163,160 @@ void RangeTreeMax::fenwick_update(std::atomic<int64_t>* f, int64_t len,
 }
 
 int64_t RangeTreeMax::dominant_max(int64_t qpos, int64_t qy) const {
-  if (qpos <= 0 || n_ == 0) return 0;
-  qpos = std::min(qpos, n_);
-  int64_t best = 0;
-  // Walk down the levels; whenever the prefix boundary crosses the midpoint
-  // of the current node, the left child is fully inside the prefix.
-  int64_t node_start = 0;
+  // One-query group: the descent logic lives in exactly one place.
+  int64_t out;
+  dominant_max_group(&qpos, &qy, 1, &out);
+  return out;
+}
+
+void RangeTreeMax::dominant_max_group(const int64_t* qpos, const int64_t* qy,
+                                      int64_t g, int64_t* out) const {
+  constexpr int64_t kGroup = 16;
+  int64_t qp[kGroup], ns[kGroup], label[kGroup], best[kGroup];
+  bool live[kGroup];
+  for (int64_t t = 0; t < g; t++) {
+    best[t] = 0;
+    ns[t] = 0;
+    if (qpos[t] <= 0 || n_ == 0) {
+      live[t] = false;
+      continue;
+    }
+    qp[t] = std::min(qpos[t], n_);
+    label[t] = std::clamp<int64_t>(qy[t], 0, n_);
+    live[t] = true;
+    int64_t scan_base = (qp[t] - 1) & ~(kLeafParentWidth - 1);
+    __builtin_prefetch(&y_[scan_base], 0, 1);
+    __builtin_prefetch(&scores_[scan_base], 0, 1);
+  }
+  // Level-synchronous descent. Whenever a query's prefix boundary crosses
+  // the midpoint of its current node, the left child is fully covered:
+  // query its Fenwick prefix-max through the bridged label, then descend
+  // right; otherwise descend left (label = #points of the current node
+  // with y < qy; y_by_pos is a permutation, so at the virtual root it is
+  // qy clamped). Per level: (A) prefetch every live query's bridge slot,
+  // (B) read them and collect the canonical Fenwick queries, (C) prefetch
+  // all collected walks, (D) fold the loads — each pass issues up to
+  // kGroup independent lines before any is consumed.
   for (size_t d = 0; d + 1 < levels_.size(); d++) {
+    const Level& node = levels_[d];
     const Level& child = levels_[d + 1];
-    int64_t mid = node_start + child.width;
-    if (qpos >= mid) {
-      // left child [node_start, mid) fully covered — query it
-      int64_t len = std::min(mid, n_) - node_start;
-      if (len > 0) {
-        const int64_t* ys = child.ys.data() + node_start;
-        int64_t cnt = std::lower_bound(ys, ys + len, qy) - ys;
-        if (cnt > 0) {
-          best = std::max(
-              best, fenwick_prefix_max(child.fenwick.get() + node_start, cnt));
+    for (int64_t t = 0; t < g; t++) {
+      if (!live[t]) continue;
+      int64_t len = std::min(ns[t] + node.width, n_) - ns[t];
+      if (label[t] < len) __builtin_prefetch(&node.bridge[ns[t] + label[t]], 0, 1);
+    }
+    const std::atomic<int64_t>* cn_f[kGroup];
+    int64_t cn_count[kGroup], cn_t[kGroup];
+    int64_t ncn = 0;
+    for (int64_t t = 0; t < g; t++) {
+      if (!live[t]) continue;
+      int64_t mid = ns[t] + child.width;
+      int64_t len = std::min(ns[t] + node.width, n_) - ns[t];
+      int64_t left_label = label[t] >= len ? std::min(mid, n_) - ns[t]
+                                           : node.bridge[ns[t] + label[t]];
+      if (qp[t] >= mid) {
+        if (left_label > 0) {
+          cn_f[ncn] = child.fenwick + ns[t];
+          cn_count[ncn] = left_label;
+          cn_t[ncn] = t;
+          ncn++;
+        }
+        if (qp[t] == mid) {
+          live[t] = false;  // canonical node recorded; no tail scans
+        } else {
+          ns[t] = mid;
+          label[t] -= left_label;
+        }
+      } else {
+        label[t] = left_label;
+      }
+    }
+    for (int64_t c = 0; c < ncn; c++) {
+      for (int64_t i = cn_count[c]; i > 0; i -= i & (-i)) {
+        __builtin_prefetch(&cn_f[c][i - 1], 0, 1);
+      }
+    }
+    for (int64_t c = 0; c < ncn; c++) {
+      int64_t b = 0;
+      for (int64_t i = cn_count[c]; i > 0; i -= i & (-i)) {
+        b = std::max(b, cn_f[c][i - 1].load(std::memory_order_relaxed));
+      }
+      best[cn_t[c]] = std::max(best[cn_t[c]], b);
+    }
+  }
+  // Trailing scans, as in the single-query path.
+  for (int64_t t = 0; t < g; t++) {
+    if (!live[t]) {
+      out[t] = best[t];
+      continue;
+    }
+    int64_t node_start = ns[t], b = best[t];
+    auto scan = [&](int64_t lo, int64_t hi) {
+      for (int64_t p = lo; p < hi; p++) {
+        if (y_[p] < qy[t]) {
+          b = std::max(b, scores_[p].load(std::memory_order_relaxed));
         }
       }
-      if (qpos == mid) return best;
-      node_start = mid;  // descend right
+    };
+    if (!levels_.empty()) {
+      int64_t mid = node_start + kLeafWidth;
+      if (qp[t] >= mid) {
+        scan(node_start, std::min(mid, n_));
+        node_start = mid;
+      }
     }
-    // else: descend left (node_start unchanged)
+    if (node_start < qp[t]) scan(node_start, qp[t]);
+    out[t] = b;
   }
-  // Leaf level: node [node_start, node_start+1); qpos > node_start means the
-  // leaf itself is in the prefix.
-  if (qpos > node_start && node_start < n_) {
-    const Level& leaf = levels_.back();
-    if (leaf.ys[node_start] < qy) {
-      best = std::max(best,
-                      leaf.fenwick[node_start].load(std::memory_order_relaxed));
-    }
-  }
-  return best;
+}
+
+void RangeTreeMax::dominant_max_batch(const int64_t* qpos, const int64_t* qy,
+                                      int64_t m, int64_t* out) const {
+  constexpr int64_t kGroup = 16;
+  int64_t ngroups = (m + kGroup - 1) / kGroup;
+  parallel_for(0, ngroups, [&](int64_t grp) {
+    int64_t lo = grp * kGroup;
+    int64_t g = std::min(kGroup, m - lo);
+    dominant_max_group(qpos + lo, qy + lo, g, out + lo);
+  });
 }
 
 void RangeTreeMax::update(int64_t pos, int64_t score) {
-  int64_t y = levels_.back().ys[pos];
-  for (size_t d = 0; d < levels_.size(); d++) {
-    const Level& lev = levels_[d];
-    int64_t block = (pos / lev.width) * lev.width;
-    int64_t len = std::min(block + lev.width, n_) - block;
-    const int64_t* ys = lev.ys.data() + block;
-    int64_t idx = std::lower_bound(ys, ys + len, y) - ys;  // y's are distinct
-    fenwick_update(lev.fenwick.get() + block, len, idx, score);
+  std::atomic<int64_t>& slot = scores_[pos];
+  int64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < score &&
+         !slot.compare_exchange_weak(cur, score, std::memory_order_relaxed)) {
   }
+  size_t nlev = levels_.size();
+  if (nlev < 2) return;
+  // The per-level walks touch independent cache lines whose addresses are
+  // pure arithmetic once the level's rank is known, so the whole update is
+  // issued as three passes — rank prefetch, walk prefetch, CAS walk — and
+  // the memory latency overlaps across levels instead of serializing.
+  for (size_t d = 1; d < nlev; d++) {
+    __builtin_prefetch(&levels_[d].rank[pos], 0, 1);
+  }
+  int64_t ranks[64];
+  for (size_t d = 1; d < nlev; d++) {
+    const Level& lev = levels_[d];
+    int64_t block = pos & ~(lev.width - 1);
+    int64_t len = std::min(block + lev.width, n_) - block;
+    int64_t idx = ranks[d] = lev.rank[pos];
+    const std::atomic<int64_t>* f = lev.fenwick + block;
+    for (int64_t i = idx + 1; i <= len; i += i & (-i)) {
+      __builtin_prefetch(&f[i - 1], 1, 1);
+    }
+  }
+  for (size_t d = 1; d < nlev; d++) {
+    const Level& lev = levels_[d];
+    int64_t block = pos & ~(lev.width - 1);
+    int64_t len = std::min(block + lev.width, n_) - block;
+    fenwick_update(lev.fenwick + block, len, ranks[d], score);
+  }
+}
+
+void RangeTreeMax::update_batch(const ScoreUpdate* updates, int64_t m) {
+  parallel_for(0, m, [&](int64_t t) { update(updates[t].pos, updates[t].score); });
 }
 
 }  // namespace parlis

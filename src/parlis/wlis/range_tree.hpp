@@ -10,27 +10,54 @@
 //
 // DominantMax(qpos, qy) — max score over points with position < qpos and
 // y < qy — decomposes [0, qpos) into O(log n) canonical nodes; in each, the
-// count of y's < qy is a binary search and the max score over that prefix a
-// Fenwick prefix-max: O(log^2 n) per query.
+// max score over the y < qy prefix is a Fenwick prefix-max. The asymptotic
+// bounds are the paper's (O(log^2 n) query, O(n log^2 n) work for Alg. 2,
+// Thm. 4.1), but the constant factors are engineered well below the
+// textbook layout's:
+//
+//  * No binary searches. y_by_pos is a permutation of [0, n), so a query's
+//    prefix count at the (virtual) root is just min(qy, n); descending one
+//    level refines it through a precomputed *bridge* table (fractional
+//    cascading: bridge[s] = how many of a node's first s points fall in its
+//    left child), one O(1) lookup per level instead of a per-node binary
+//    search. Updates likewise use a precomputed per-level *rank* table
+//    (rank[p] = index of point p's y inside its node's sorted block),
+//    filled by the same bottom-up merge that builds the tree.
+//  * Truncated bottom. Levels below node width 16 are not materialized:
+//    width-8 canonical children and the final partial node are resolved by
+//    a direct scan of (y, score) over at most 8 contiguous positions —
+//    cheaper than three more Fenwick levels and a third of the memory.
+//  * Arena-backed flat levels. Every level array (bridge, rank, Fenwick
+//    slots) is one allocation from the tree's Arena (per-worker bump
+//    cursors via LazyWorkerSlots, so construction has no scheduler side
+//    effects); building allocates O(log n) blocks instead of one
+//    make_unique per level, and teardown is wholesale.
 //
 // Update is a point score change that can only increase (dp values replace
 // the initial 0), so the Fenwick slots use atomic fetch-max: a whole
-// frontier updates in parallel with no locks. This gives Alg. 2 the
-// O(n log^2 n) work / O(k log^2 n) span bounds of Thm. 4.1.
+// frontier updates in parallel with no locks. Models the RangeStructure
+// concept (range_structure.hpp).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
 #include <vector>
+
+#include "parlis/util/arena.hpp"
+#include "parlis/wlis/range_structure.hpp"
 
 namespace parlis {
 
 class RangeTreeMax {
  public:
   /// `y_by_pos[p]` is the y-coordinate (input index) of the point at
-  /// value-order position p. All y's are distinct.
+  /// value-order position p; it must be a permutation of [0, n).
   explicit RangeTreeMax(const std::vector<int64_t>& y_by_pos);
+
+  // Level arrays hold plain pointers into arena_ chunks; the arena move
+  // transfers chunk ownership without relocating them.
+  RangeTreeMax(RangeTreeMax&&) noexcept = default;
+  RangeTreeMax& operator=(RangeTreeMax&&) noexcept = default;
 
   int64_t n() const { return n_; }
 
@@ -38,26 +65,55 @@ class RangeTreeMax {
   /// 0 when there is none (the identity of Eq. (2)).
   int64_t dominant_max(int64_t qpos, int64_t qy) const;
 
+  /// Batched queries: out[t] = dominant_max(qpos[t], qy[t]) for t < m.
+  /// Groups of queries descend the levels in lockstep, so their (otherwise
+  /// serial) bridge and Fenwick cache misses overlap — the way Alg. 2
+  /// issues a whole frontier's queries at once. Parallel and const-safe.
+  void dominant_max_batch(const int64_t* qpos, const int64_t* qy, int64_t m,
+                          int64_t* out) const;
+
   /// Sets the score of the point at value-order position `pos` (whose
-  /// y-coordinate is y_by_pos[pos]) to `score` (>= 0). Safe to call
-  /// concurrently for distinct positions.
+  /// y-coordinate is y_by_pos[pos]) to `score` (>= 0). Scores only grow:
+  /// a lower re-publication is a no-op. Safe to call concurrently.
   void update(int64_t pos, int64_t score);
 
+  /// RangeStructure batched update: m items with distinct positions (any
+  /// order accepted here; the concept contract says sorted by y).
+  void update_batch(const ScoreUpdate* updates, int64_t m);
+
+  /// Bytes the level arrays reserved from the arena (introspection hook).
+  size_t pool_reserved_bytes() const { return arena_.reserved_bytes(); }
+
  private:
+  // Level d covers nodes of width_ >> d positions; levels run from the
+  // virtual root (width bit_ceil(n), one node) down to width 16. A node's
+  // sorted block occupies global slots [node_start, node_start + len).
   struct Level {
-    int64_t width;                // positions per node at this level
-    std::vector<int64_t> ys;      // per node block: sorted y's
-    std::unique_ptr<std::atomic<int64_t>[]> fenwick;  // per node block
+    int64_t width = 0;
+    // bridge[node_start + s] = #points among the node's first s sorted
+    // slots that belong to its left child (levels of width >= 32 only).
+    const int32_t* bridge = nullptr;
+    // rank[p] = sorted slot of point p inside its node's block, relative
+    // to the block start (levels below the root only).
+    const int32_t* rank = nullptr;
+    // Fenwick prefix-max slots, one block per node (below the root only).
+    std::atomic<int64_t>* fenwick = nullptr;
   };
 
-  // Fenwick prefix-max over [block, block+len) restricted to first `count`.
   static int64_t fenwick_prefix_max(const std::atomic<int64_t>* f,
                                     int64_t count);
   static void fenwick_update(std::atomic<int64_t>* f, int64_t len,
                              int64_t idx, int64_t score);
+  void dominant_max_group(const int64_t* qpos, const int64_t* qy, int64_t g,
+                          int64_t* out) const;
 
-  int64_t n_;
-  std::vector<Level> levels_;  // levels_[0] = root (width >= n)
+  int64_t n_ = 0;
+  Arena arena_;
+  const int32_t* y_ = nullptr;             // y_by_pos (leaf scans)
+  std::atomic<int64_t>* scores_ = nullptr;  // score by position (leaf scans)
+  std::vector<Level> levels_;               // [0] = virtual root
 };
+
+static_assert(RangeStructure<RangeTreeMax>);
 
 }  // namespace parlis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/primitives.hpp"
@@ -9,7 +10,8 @@
 namespace parlis {
 
 RangeVeb::RangeVeb(const std::vector<int64_t>& y_by_pos)
-    : n_(static_cast<int64_t>(y_by_pos.size())) {
+    : n_(static_cast<int64_t>(y_by_pos.size())),
+      arena_(std::make_unique<Arena>()) {
   if (n_ == 0) return;
   int64_t width =
       static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(n_)));
@@ -17,36 +19,46 @@ RangeVeb::RangeVeb(const std::vector<int64_t>& y_by_pos)
   {
     Level leaf;
     leaf.width = 1;
-    leaf.ys = y_by_pos;
+    int64_t* ys = arena_->create_array_uninit<int64_t>(n_);
+    parallel_for(0, n_, [&](int64_t p) { ys[p] = y_by_pos[p]; });
+    leaf.ys = ys;
     rev.push_back(std::move(leaf));
   }
   while (rev.back().width < width) {
     const Level& prev = rev.back();
     Level next;
     next.width = prev.width * 2;
-    next.ys.resize(n_);
+    int64_t* ys = arena_->create_array_uninit<int64_t>(n_);
     int64_t nblocks = (n_ + next.width - 1) / next.width;
     parallel_for(0, nblocks, [&](int64_t blk) {
       int64_t lo = blk * next.width;
       int64_t mid = std::min(n_, lo + prev.width);
       int64_t hi = std::min(n_, lo + next.width);
-      merge_into(prev.ys.begin() + lo, mid - lo, prev.ys.begin() + mid,
-                 hi - mid, next.ys.begin() + lo, std::less<int64_t>{});
+      merge_into(prev.ys + lo, mid - lo, prev.ys + mid, hi - mid, ys + lo,
+                 std::less<int64_t>{});
     });
+    next.ys = ys;
     rev.push_back(std::move(next));
   }
-  // One Mono-vEB per node block, with relabeled universe = block length.
+  // One Mono-vEB per node block, with relabeled universe = block length;
+  // all of them draw nodes and score tables from the shared pool.
   for (Level& lev : rev) {
     int64_t nblocks = (n_ + lev.width - 1) / lev.width;
     lev.inner.reserve(nblocks);
     for (int64_t blk = 0; blk < nblocks; blk++) {
       int64_t lo = blk * lev.width;
       int64_t len = std::min(n_, lo + lev.width) - lo;
-      lev.inner.emplace_back(static_cast<uint64_t>(len));
+      lev.inner.emplace_back(static_cast<uint64_t>(len), arena_.get());
     }
   }
   levels_.assign(std::make_move_iterator(rev.rbegin()),
                  std::make_move_iterator(rev.rend()));
+  // Round scratch, sized once: a batch never exceeds n distinct positions.
+  sort_keys_.resize(n_);
+  sort_buf_.resize(n_);
+  pts_.resize(n_);
+  group_pos_.resize(n_);
+  group_start_.resize(n_ + 1);
 }
 
 int64_t RangeVeb::dominant_max(int64_t qpos, int64_t qy) const {
@@ -60,7 +72,7 @@ int64_t RangeVeb::dominant_max(int64_t qpos, int64_t qy) const {
     if (qpos >= mid) {
       int64_t len = std::min(mid, n_) - node_start;
       if (len > 0) {
-        const int64_t* ys = child.ys.data() + node_start;
+        const int64_t* ys = child.ys + node_start;
         // Relabel qy: its label in this node is the count of y's below it.
         uint64_t label = std::lower_bound(ys, ys + len, qy) - ys;
         const MonoVeb& mv = child.inner[node_start / child.width];
@@ -82,29 +94,44 @@ int64_t RangeVeb::dominant_max(int64_t qpos, int64_t qy) const {
   return best;
 }
 
-void RangeVeb::update(const std::vector<Item>& batch) {
-  int64_t m = static_cast<int64_t>(batch.size());
+void RangeVeb::update_batch(const ScoreUpdate* batch, int64_t m) {
   if (m == 0) return;
-  // Per level: group the batch by node block (stable by block id keeps each
-  // group sorted by y), relabel, and update each inner tree in parallel.
+  assert(m <= n_ && "batch positions must be distinct");
+  const int64_t* y_leaf = levels_.back().ys;  // leaf ys = y_by_pos
+  // Per level: group the batch by node block, relabel each point inside its
+  // block, and update every touched inner tree in parallel. Grouping sorts
+  // packed (block id, batch index) keys — stable by construction, so each
+  // group stays sorted by y — entirely inside the preallocated scratch.
   for (Level& lev : levels_) {
-    int64_t nblocks = (n_ + lev.width - 1) / lev.width;
-    auto [order, offsets] = counting_sort_index(
-        m, nblocks, [&](int64_t i) { return batch[i].pos / lev.width; });
-    parallel_for(0, nblocks, [&](int64_t blk) {
-      int64_t s = offsets[blk], e = offsets[blk + 1];
-      if (s == e) return;
-      int64_t lo = blk * lev.width;
+    parallel_for(0, m, [&](int64_t i) {
+      uint64_t blk = static_cast<uint64_t>(batch[i].pos / lev.width);
+      sort_keys_[i] = (blk << 32) | static_cast<uint32_t>(i);
+    });
+    sort_with_buffer(sort_keys_.data(), sort_buf_.data(), m,
+                     std::less<uint64_t>{});
+    parallel_for(0, m, [&](int64_t i) {
+      const ScoreUpdate& it = batch[sort_keys_[i] & 0xffffffffu];
+      int64_t lo = (it.pos / lev.width) * lev.width;
       int64_t len = std::min(n_, lo + lev.width) - lo;
-      const int64_t* ys = lev.ys.data() + lo;
-      std::vector<MonoVeb::Point> pts(e - s);
-      for (int64_t i = s; i < e; i++) {
-        const Item& it = batch[order[i]];
-        int64_t y = levels_.back().ys[it.pos];
-        uint64_t label = std::lower_bound(ys, ys + len, y) - ys;
-        pts[i - s] = {label, it.score};
-      }
-      lev.inner[blk].insert_staircase(std::move(pts));
+      const int64_t* ys = lev.ys + lo;
+      uint64_t label = std::lower_bound(ys, ys + len, y_leaf[it.pos]) - ys;
+      pts_[i] = {label, it.score};
+    });
+    auto blk_of = [&](int64_t i) { return sort_keys_[i] >> 32; };
+    auto is_start = [&](int64_t i) {
+      return i == 0 || blk_of(i) != blk_of(i - 1);
+    };
+    int64_t ngroups = scan_exclusive_index<int64_t>(
+        m, 0, [&](int64_t i) { return is_start(i) ? int64_t{1} : 0; },
+        [&](int64_t i, int64_t pre) { group_pos_[i] = pre; },
+        std::plus<int64_t>{});
+    parallel_for(0, m, [&](int64_t i) {
+      if (is_start(i)) group_start_[group_pos_[i]] = i;
+    });
+    group_start_[ngroups] = m;
+    parallel_for(0, ngroups, [&](int64_t g) {
+      int64_t s = group_start_[g], e = group_start_[g + 1];
+      lev.inner[blk_of(s)].insert_staircase(pts_.data() + s, e - s);
     });
   }
 }
@@ -123,7 +150,7 @@ void RangeVeb::precompute_query_labels(const std::vector<int64_t>& qpos_by_y) {
       if (qpos >= mid) {
         int64_t len = std::min(mid, n_) - node_start;
         if (len > 0) {
-          const int64_t* ys = child.ys.data() + node_start;
+          const int64_t* ys = child.ys + node_start;
           labels_[d * n_ + j] =
               static_cast<int32_t>(std::lower_bound(ys, ys + len, j) - ys);
         }

@@ -10,20 +10,36 @@
 // O(log n) ancestor nodes, refines each per-node batch to the staircase,
 // and applies CoveredBy + BatchDelete + BatchInsert (Thm. 1.2 bounds, up to
 // the binary-search label lookup documented in DESIGN.md).
+//
+// Storage: one Arena backs the whole structure — the per-level sorted-y
+// arrays and every inner Mono-vEB (nodes and score tables) — so
+// construction performs O(log n) chunk allocations instead of one per inner
+// tree, and teardown is wholesale. The per-round update machinery (block
+// grouping, relabeled point batches) runs in scratch buffers sized once at
+// construction: steady-state rounds allocate only inside the inner trees'
+// batch refinement. Models the RangeStructure concept.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "parlis/util/arena.hpp"
 #include "parlis/veb/mono_veb.hpp"
+#include "parlis/wlis/range_structure.hpp"
 
 namespace parlis {
 
 class RangeVeb {
  public:
   /// `y_by_pos[p]` is the y-coordinate of the point at value-order
-  /// position p; all distinct.
+  /// position p; it must be a permutation of [0, n).
   explicit RangeVeb(const std::vector<int64_t>& y_by_pos);
+
+  // The arena lives behind a stable pointer, so moves keep every inner
+  // tree's pool reference valid.
+  RangeVeb(RangeVeb&&) noexcept = default;
+  RangeVeb& operator=(RangeVeb&&) noexcept = default;
 
   int64_t n() const { return n_; }
 
@@ -33,11 +49,14 @@ class RangeVeb {
   /// Batch score update: items (pos, score) with distinct positions, sorted
   /// by y-coordinate ascending. Each position is updated at most once over
   /// the structure's lifetime (WLIS sets each dp exactly once).
-  struct Item {
-    int64_t pos;    // value-order position
-    int64_t score;  // dp value
-  };
-  void update(const std::vector<Item>& batch);
+  using Item = ScoreUpdate;
+  void update_batch(const ScoreUpdate* batch, int64_t m);
+  void update(const std::vector<Item>& batch) {
+    update_batch(batch.data(), static_cast<int64_t>(batch.size()));
+  }
+
+  /// Bytes reserved by the shared pool (introspection hook).
+  size_t pool_reserved_bytes() const { return arena_->reserved_bytes(); }
 
   /// Testing hook: validates every inner staircase.
   void check() const;
@@ -58,17 +77,28 @@ class RangeVeb {
  private:
   struct Level {
     int64_t width = 0;
-    std::vector<int64_t> ys;       // per node block: sorted y's (labels)
-    std::vector<MonoVeb> inner;    // one Mono-vEB per block
+    const int64_t* ys = nullptr;   // per node block: sorted y's (arena)
+    std::vector<MonoVeb> inner;    // one Mono-vEB per block (shared pool)
   };
 
   int64_t n_;
-  std::vector<Level> levels_;  // levels_[0] = root
+  std::unique_ptr<Arena> arena_;  // levels' ys + all inner trees
+  std::vector<Level> levels_;     // levels_[0] = root
   // Appendix E tables: labels_[d * n + j] is point j's query label in the
   // canonical node consumed at descent step d (-1 = no canonical node
   // there). qpos_ mirrors the argument of precompute_query_labels.
   std::vector<int32_t> labels_;
   std::vector<int64_t> qpos_;
+  // Reused update_batch scratch (sized n at construction, clobbered per
+  // round): packed (block id, item index) sort keys + merge-sort buffer,
+  // relabeled per-block point batches, and group-boundary extraction.
+  std::vector<uint64_t> sort_keys_;
+  std::vector<uint64_t> sort_buf_;
+  std::vector<MonoVeb::Point> pts_;
+  std::vector<int64_t> group_pos_;
+  std::vector<int64_t> group_start_;
 };
+
+static_assert(RangeStructure<RangeVeb>);
 
 }  // namespace parlis

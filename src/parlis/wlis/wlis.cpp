@@ -6,6 +6,7 @@
 #include "parlis/lis/lis.hpp"
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/primitives.hpp"
+#include "parlis/wlis/range_structure.hpp"
 #include "parlis/wlis/range_tree.hpp"
 #include "parlis/wlis/range_veb.hpp"
 
@@ -55,34 +56,16 @@ ValueOrder build_value_order(const std::vector<int64_t>& a) {
   return vo;
 }
 
-// Adapters giving both RangeStructs the same frontier-batch interface.
+// Thin adapters: the update side is the uniform RangeStructure batch API;
+// only the query side differs (Appendix E tables vs. generic queries).
 struct TreeAdapter {
   RangeTreeMax rs;
   explicit TreeAdapter(const ValueOrder& vo) : rs(vo.y_by_pos) {}
-  int64_t dominant_max(int64_t qpos, int64_t qy) const {
-    return rs.dominant_max(qpos, qy);
-  }
-  void update_frontier(const int64_t* f, int64_t fn, const ValueOrder& vo,
-                       const std::vector<int64_t>& dp) {
-    // Scores only grow; atomic fetch-max makes this lock-free.
-    parallel_for(0, fn,
-                 [&](int64_t t) { rs.update(vo.pos[f[t]], dp[f[t]]); });
-  }
 };
 
 struct VebAdapter {
   RangeVeb rs;
   explicit VebAdapter(const ValueOrder& vo) : rs(vo.y_by_pos) {}
-  int64_t dominant_max(int64_t qpos, int64_t qy) const {
-    return rs.dominant_max(qpos, qy);
-  }
-  void update_frontier(const int64_t* f, int64_t fn, const ValueOrder& vo,
-                       const std::vector<int64_t>& dp) {
-    std::vector<RangeVeb::Item> batch(fn);  // frontier sorted by index = by y
-    parallel_for(0, fn,
-                 [&](int64_t t) { batch[t] = {vo.pos[f[t]], dp[f[t]]}; });
-    rs.update(batch);
-  }
 };
 
 // Like VebAdapter but with the Appendix E label tables: queries for input
@@ -96,13 +79,6 @@ struct VebTabulatedAdapter {
   int64_t dominant_max_point(int64_t j) const {
     return rs.dominant_max_point(j);
   }
-  void update_frontier(const int64_t* f, int64_t fn, const ValueOrder& vo,
-                       const std::vector<int64_t>& dp) {
-    std::vector<RangeVeb::Item> batch(fn);
-    parallel_for(0, fn,
-                 [&](int64_t t) { batch[t] = {vo.pos[f[t]], dp[f[t]]}; });
-    rs.update(batch);
-  }
 };
 
 template <typename Adapter>
@@ -115,22 +91,47 @@ WlisResult run_wlis(const std::vector<int64_t>& a,
   Adapter ad(vo);
   res.dp.assign(n, 0);
   res.k = fr.k;
+  // Every object appears in exactly one frontier, so n-sized buffers serve
+  // all rounds: the loop allocates nothing.
+  std::vector<ScoreUpdate> batch(n);
+  std::vector<int64_t> qpos_buf, qres;
+  constexpr bool kBatchedQueries =
+      requires { ad.rs.dominant_max_batch(nullptr, nullptr, 0, nullptr); } &&
+      !requires { ad.dominant_max_point(int64_t{0}); };
+  if constexpr (kBatchedQueries) {
+    qpos_buf.resize(n);
+    qres.resize(n);
+  }
   for (int32_t r = 1; r <= fr.k; r++) {
     const int64_t* f = fr.frontier_flat.data() + fr.frontier_offset[r - 1];
     int64_t fn = fr.frontier_offset[r] - fr.frontier_offset[r - 1];
-    // Line 16: all dp values of the frontier in parallel.
-    parallel_for(0, fn, [&](int64_t t) {
-      int64_t j = f[t];
-      int64_t q;
-      if constexpr (requires { ad.dominant_max_point(j); }) {
-        q = ad.dominant_max_point(j);  // Appendix E tables
-      } else {
-        q = ad.dominant_max(vo.qpos[j], j);
-      }
-      res.dp[j] = w[j] + std::max<int64_t>(0, q);
-    });
-    // Lines 17-18: publish the new scores as one batch.
-    ad.update_frontier(f, fn, vo, res.dp);
+    // Line 16: all dp values of the frontier in parallel. The frontier is
+    // the y (= index) array of its own queries, so batched structures get
+    // the whole round's queries in one level-synchronous call.
+    if constexpr (kBatchedQueries) {
+      parallel_for(0, fn, [&](int64_t t) { qpos_buf[t] = vo.qpos[f[t]]; });
+      ad.rs.dominant_max_batch(qpos_buf.data(), f, fn, qres.data());
+      parallel_for(0, fn, [&](int64_t t) {
+        int64_t j = f[t];
+        res.dp[j] = w[j] + std::max<int64_t>(0, qres[t]);
+      });
+    } else {
+      parallel_for(0, fn, [&](int64_t t) {
+        int64_t j = f[t];
+        int64_t q;
+        if constexpr (requires { ad.dominant_max_point(j); }) {
+          q = ad.dominant_max_point(j);  // Appendix E tables
+        } else {
+          q = ad.rs.dominant_max(vo.qpos[j], j);
+        }
+        res.dp[j] = w[j] + std::max<int64_t>(0, q);
+      });
+    }
+    // Lines 17-18: publish the new scores as one batch. The frontier is
+    // sorted by index (= by y), satisfying the concept's batch contract.
+    parallel_for(0, fn,
+                 [&](int64_t t) { batch[t] = {vo.pos[f[t]], res.dp[f[t]]}; });
+    ad.rs.update_batch(batch.data(), fn);
   }
   res.best = reduce_index<int64_t>(
       0, n, 0, [&](int64_t i) { return res.dp[i]; },

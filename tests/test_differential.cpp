@@ -1,0 +1,172 @@
+// Differential harness: the parallel LIS/WLIS pipelines against brute-force
+// O(n^2) oracles and the sequential baselines, on randomized fixed-seed
+// inputs chosen to hit the hard spots (duplicate-heavy value ranges,
+// reverse-sorted inputs, all-equal runs, negative weights).
+//
+// These suites (gtest prefix `Differential`) are registered three extra
+// times in ctest under the `differential` label, with PARLIS_NUM_THREADS =
+// 1, 4, and the hardware default — the answers must be identical at every
+// worker count, and again under set_sequential_mode(true). Run selectively
+// with `ctest -L differential`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "parlis/lis/lis.hpp"
+#include "parlis/lis/seq_lis.hpp"
+#include "parlis/parallel/random.hpp"
+#include "parlis/parallel/scheduler.hpp"
+#include "parlis/wlis/seq_avl.hpp"
+#include "parlis/wlis/wlis.hpp"
+
+namespace parlis {
+namespace {
+
+// ------------------------------------------------------ input generation ---
+
+struct DiffCase {
+  const char* name;
+  int64_t n;
+  int64_t value_range;  // 0 = special patterns, see build_input
+  uint64_t seed;
+};
+
+std::vector<int64_t> build_input(const DiffCase& c) {
+  std::vector<int64_t> a(c.n);
+  if (c.value_range > 0) {
+    for (int64_t i = 0; i < c.n; i++) {
+      a[i] = static_cast<int64_t>(
+          uniform(c.seed, i, static_cast<uint64_t>(c.value_range)));
+    }
+    return a;
+  }
+  switch (c.seed % 3) {
+    case 0:  // strictly decreasing: every frontier is a singleton
+      for (int64_t i = 0; i < c.n; i++) a[i] = c.n - i;
+      break;
+    case 1:  // all equal: nothing chains
+      for (int64_t i = 0; i < c.n; i++) a[i] = 7;
+      break;
+    default:  // long equal runs with jumps between them
+      for (int64_t i = 0; i < c.n; i++) a[i] = (i / 37) * 5;
+      break;
+  }
+  return a;
+}
+
+std::vector<int64_t> build_weights(const DiffCase& c, bool with_negatives) {
+  std::vector<int64_t> w(c.n);
+  for (int64_t i = 0; i < c.n; i++) {
+    int64_t v = 1 + static_cast<int64_t>(uniform(c.seed + 1000, i, 400));
+    if (with_negatives && uniform(c.seed + 2000, i, 4) == 0) v = -v;
+    w[i] = v;
+  }
+  return w;
+}
+
+const DiffCase kCases[] = {
+    {"tiny", 3, 2, 1},
+    {"small_dups", 120, 8, 2},
+    {"medium_uniform", 700, 1000000, 3},
+    {"medium_dups", 900, 25, 4},
+    {"decreasing", 500, 0, 3},   // seed % 3 == 0
+    {"all_equal", 400, 0, 4},    // seed % 3 == 1
+    {"equal_runs", 800, 0, 5},   // seed % 3 == 2
+    {"larger", 1600, 300, 6},
+};
+
+class Differential : public ::testing::TestWithParam<DiffCase> {};
+
+// ------------------------------------------------------------------- LIS ---
+
+TEST_P(Differential, LisRanksMatchBruteForceAndSeqBs) {
+  auto a = build_input(GetParam());
+  LisResult r = lis_ranks(a);
+  std::vector<int32_t> brute = brute_lis_ranks(a);
+  std::vector<int32_t> seq = seq_bs_ranks(a);
+  ASSERT_EQ(r.rank, brute);
+  ASSERT_EQ(r.rank, seq);
+  int32_t k = 0;
+  for (int32_t t : brute) k = std::max(k, t);
+  ASSERT_EQ(r.k, k);
+  // Witness: a valid strictly-increasing subsequence of length k.
+  std::vector<int64_t> seq_idx = lis_sequence(a);
+  ASSERT_EQ(static_cast<int64_t>(seq_idx.size()), k);
+  for (size_t t = 1; t < seq_idx.size(); t++) {
+    ASSERT_LT(seq_idx[t - 1], seq_idx[t]);
+    ASSERT_LT(a[seq_idx[t - 1]], a[seq_idx[t]]);
+  }
+}
+
+// ------------------------------------------------------------------ WLIS ---
+
+void check_wlis_case(const DiffCase& c, bool with_negatives) {
+  auto a = build_input(c);
+  auto w = build_weights(c, with_negatives);
+  std::vector<int64_t> brute = brute_wlis_dp(a, w);
+  std::vector<int64_t> avl = seq_avl_wlis(a, w);
+  WlisResult tree = wlis(a, w, WlisStructure::kRangeTree);
+  WlisResult veb = wlis(a, w, WlisStructure::kRangeVeb);
+  WlisResult tab = wlis(a, w, WlisStructure::kRangeVebTabulated);
+  ASSERT_EQ(avl, brute);
+  ASSERT_EQ(tree.dp, brute);
+  ASSERT_EQ(veb.dp, brute);
+  ASSERT_EQ(tab.dp, brute);
+  int64_t best = 0;
+  for (int64_t d : brute) best = std::max(best, d);
+  ASSERT_EQ(tree.best, best);
+  ASSERT_EQ(veb.best, best);
+  ASSERT_EQ(tab.best, best);
+  // Witness: ascending indices, strictly increasing values, weights summing
+  // to best. (best is clamped at 0; if every dp is negative the witness is
+  // the lone argmax and only chain validity is checkable.)
+  std::vector<int64_t> seq = wlis_sequence(a, w, tree);
+  ASSERT_FALSE(seq.empty());
+  int64_t total = 0;
+  for (size_t t = 0; t < seq.size(); t++) {
+    total += w[seq[t]];
+    if (t > 0) {
+      ASSERT_LT(seq[t - 1], seq[t]);
+      ASSERT_LT(a[seq[t - 1]], a[seq[t]]);
+    }
+  }
+  int64_t max_dp = *std::max_element(brute.begin(), brute.end());
+  ASSERT_EQ(total, max_dp > 0 ? best : max_dp);
+}
+
+TEST_P(Differential, WlisStructuresMatchBruteForceAndSeqAvl) {
+  check_wlis_case(GetParam(), /*with_negatives=*/false);
+}
+
+TEST_P(Differential, WlisWithNegativeWeightsMatchesOracles) {
+  check_wlis_case(GetParam(), /*with_negatives=*/true);
+}
+
+// --------------------------------------------------------- sequential mode ---
+
+TEST_P(Differential, SequentialModeProducesIdenticalResults) {
+  const DiffCase& c = GetParam();
+  auto a = build_input(c);
+  auto w = build_weights(c, /*with_negatives=*/false);
+  LisResult par_lis = lis_ranks(a);
+  WlisResult par_wlis = wlis(a, w, WlisStructure::kRangeTree);
+  bool prev = set_sequential_mode(true);
+  LisResult seq_lis = lis_ranks(a);
+  WlisResult seq_wlis = wlis(a, w, WlisStructure::kRangeTree);
+  WlisResult seq_veb = wlis(a, w, WlisStructure::kRangeVeb);
+  set_sequential_mode(prev);
+  ASSERT_EQ(par_lis.rank, seq_lis.rank);
+  ASSERT_EQ(par_lis.k, seq_lis.k);
+  ASSERT_EQ(par_wlis.dp, seq_wlis.dp);
+  ASSERT_EQ(par_wlis.best, seq_wlis.best);
+  ASSERT_EQ(par_wlis.dp, seq_veb.dp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Differential, ::testing::ValuesIn(kCases),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace parlis

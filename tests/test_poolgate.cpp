@@ -1,0 +1,93 @@
+// Pool-gating regression (own process, deliberately not a gtest): building
+// query structures must have no scheduler side effects. PR 1 established
+// the contract for TournamentTree (via LazyWorkerSlots: WorkerCounter and
+// Arena construction never touch the pool); this extends it to the
+// range structures — constructing a small RangeTreeMax / RangeVeb /
+// DominanceOracle must not start the worker pool, and set_num_workers()
+// must still be honored afterwards.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "parlis/lis/tournament_tree.hpp"
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/scheduler.hpp"
+#include "parlis/swgs/dominance_oracle.hpp"
+#include "parlis/wlis/range_tree.hpp"
+#include "parlis/wlis/range_veb.hpp"
+
+namespace {
+
+int failures = 0;
+
+void expect(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "poolgate FAIL: %s\n", what);
+    failures++;
+  }
+}
+
+// Deterministic permutation of [0, n) (no <random>, no pool).
+std::vector<int64_t> permutation(int64_t n, uint64_t seed) {
+  std::vector<int64_t> p(n);
+  for (int64_t i = 0; i < n; i++) p[i] = i;
+  uint64_t state = seed;
+  for (int64_t i = n - 1; i > 0; i--) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    std::swap(p[i], p[static_cast<int64_t>(state % (i + 1))]);
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace parlis;
+
+  {
+    auto ys = permutation(1000, 7);
+    RangeTreeMax rt(ys);
+    rt.update(12, 5);
+    rt.update(700, 9);
+    expect(rt.dominant_max(1000, 1000) == 9, "range tree answers queries");
+  }
+  expect(!internal::pool_started(), "RangeTreeMax construction starts no pool");
+
+  {
+    auto ys = permutation(600, 11);
+    RangeVeb rv(ys);
+    std::vector<RangeVeb::Item> batch = {{3, 8}};  // one item: trivially sorted
+    rv.update(batch);
+    (void)rv.dominant_max(600, 600);
+  }
+  expect(!internal::pool_started(), "RangeVeb construction starts no pool");
+
+  {
+    std::vector<int64_t> a = permutation(800, 13);
+    DominanceOracle oracle(a);
+    (void)oracle.count_dominators(799);
+    oracle.erase(0);
+  }
+  expect(!internal::pool_started(), "DominanceOracle construction starts no pool");
+
+  {
+    std::vector<int64_t> a = permutation(1200, 17);
+    TournamentTree<int64_t> t(a, INT64_MAX);
+    expect(!t.empty() && t.min_value() == 0, "tournament tree built correctly");
+  }
+  expect(!internal::pool_started(), "TournamentTree construction starts no pool");
+
+  // The contract's point: the worker count is still configurable.
+  expect(set_num_workers(2), "set_num_workers honored after construction");
+
+  // A genuinely parallel range is what starts the pool.
+  std::vector<int64_t> big(1 << 16);
+  parallel_for(0, static_cast<int64_t>(big.size()),
+               [&](int64_t i) { big[i] = i; });
+  expect(internal::pool_started(), "large parallel_for starts the pool");
+  expect(num_workers() == 2, "pool came up with the requested worker count");
+
+  if (failures == 0) std::printf("poolgate: all checks passed\n");
+  return failures == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

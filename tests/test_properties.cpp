@@ -13,6 +13,9 @@
 #include "parlis/parallel/random.hpp"
 #include "parlis/util/generators.hpp"
 #include "parlis/veb/veb_tree.hpp"
+#include "parlis/wlis/range_structure.hpp"
+#include "parlis/wlis/range_tree.hpp"
+#include "parlis/wlis/range_veb.hpp"
 #include "parlis/wlis/seq_avl.hpp"
 #include "parlis/wlis/wlis.hpp"
 
@@ -214,6 +217,125 @@ INSTANTIATE_TEST_SUITE_P(
                       VisitBoundCase{false, 1 << 18, 20000, false},
                       VisitBoundCase{false, 1 << 18, 20000, true},
                       VisitBoundCase{true, (1 << 18) + 3, 50, true}));
+
+// ----------------------------------- RangeStructure concept properties ---
+
+// Both dominant-max structures model the RangeStructure concept (asserted
+// next to each class definition) and must agree with a naive point array
+// under any interleaving of batched updates and prefix-max queries, on
+// adversarial value orders: duplicate keys, all-equal inputs,
+// reverse-sorted inputs, all-equal scores.
+
+struct NaivePoints {
+  std::vector<int64_t> y;      // y-coordinate by position
+  std::vector<int64_t> score;  // published score by position (0 = none)
+  int64_t dominant_max(int64_t qpos, int64_t qy) const {
+    int64_t best = 0;
+    int64_t hi = std::min<int64_t>(qpos, y.size());
+    for (int64_t p = 0; p < hi; p++) {
+      if (y[p] < qy) best = std::max(best, score[p]);
+    }
+    return best;
+  }
+};
+
+struct RangeStructCase {
+  const char* name;
+  int64_t n;
+  int pattern;  // 0 random dups, 1 all equal, 2 reverse sorted, 3 heavy dups
+  bool equal_scores;
+  uint64_t seed;
+};
+
+// WLIS-style preprocessing: y_by_pos = indices sorted by (value, index).
+std::vector<int64_t> value_order_of(const std::vector<int64_t>& a) {
+  std::vector<int64_t> y_by_pos(a.size());
+  for (size_t i = 0; i < a.size(); i++) y_by_pos[i] = static_cast<int64_t>(i);
+  std::sort(y_by_pos.begin(), y_by_pos.end(), [&](int64_t i, int64_t j) {
+    return a[i] != a[j] ? a[i] < a[j] : i < j;
+  });
+  return y_by_pos;
+}
+
+template <typename RS>
+  requires RangeStructure<RS>
+void range_structure_property_test(const RangeStructCase& c) {
+  std::vector<int64_t> a(c.n);
+  for (int64_t i = 0; i < c.n; i++) {
+    switch (c.pattern) {
+      case 0: a[i] = static_cast<int64_t>(uniform(c.seed, i, 40)); break;
+      case 1: a[i] = 5; break;
+      case 2: a[i] = c.n - i; break;
+      default: a[i] = (i % 3) * 1000; break;
+    }
+  }
+  std::vector<int64_t> y_by_pos = value_order_of(a);
+  std::vector<int64_t> pos_of(c.n);
+  for (int64_t p = 0; p < c.n; p++) pos_of[y_by_pos[p]] = p;
+  RS rs(y_by_pos);
+  ASSERT_EQ(rs.n(), c.n);
+  NaivePoints ref;
+  ref.y.resize(c.n);
+  for (int64_t p = 0; p < c.n; p++) ref.y[p] = y_by_pos[p];
+  ref.score.assign(c.n, 0);
+  // Rounds partition the positions (each published exactly once, the WLIS
+  // lifetime contract); batches are built in index order = y order.
+  std::vector<bool> used(c.n, false);
+  std::vector<ScoreUpdate> batch;
+  for (int round = 0; round < 12; round++) {
+    batch.clear();
+    for (int64_t j = 0; j < c.n; j++) {
+      if (used[j] || hash64(c.seed + 7, round * c.n + j) % 4 != 0) continue;
+      used[j] = true;
+      int64_t score =
+          c.equal_scores
+              ? 42
+              : 1 + static_cast<int64_t>(hash64(c.seed + 8, j) % 900);
+      batch.push_back({pos_of[j], score});
+      ref.score[pos_of[j]] = std::max(ref.score[pos_of[j]], score);
+    }
+    rs.update_batch(batch.data(), static_cast<int64_t>(batch.size()));
+    // Interleaved queries: random rectangles plus the exact WLIS queries
+    // (qpos = value-run start, qy = the point's own index).
+    for (int q = 0; q < 120; q++) {
+      int64_t qpos = static_cast<int64_t>(
+          uniform(c.seed + 9, round * 1000 + q, c.n + 2));
+      int64_t qy = static_cast<int64_t>(
+          uniform(c.seed + 10, round * 1000 + q, c.n + 2));
+      ASSERT_EQ(rs.dominant_max(qpos, qy), ref.dominant_max(qpos, qy))
+          << "round=" << round << " qpos=" << qpos << " qy=" << qy;
+    }
+    for (int64_t j = 0; j < c.n; j += 17) {
+      int64_t p = pos_of[j];
+      int64_t run_start = p;
+      while (run_start > 0 && a[y_by_pos[run_start - 1]] == a[j]) run_start--;
+      ASSERT_EQ(rs.dominant_max(run_start, j), ref.dominant_max(run_start, j))
+          << "round=" << round << " j=" << j;
+    }
+  }
+}
+
+class RangeStructureProperties
+    : public ::testing::TestWithParam<RangeStructCase> {};
+
+TEST_P(RangeStructureProperties, RangeTreeMatchesNaiveArray) {
+  range_structure_property_test<RangeTreeMax>(GetParam());
+}
+
+TEST_P(RangeStructureProperties, RangeVebMatchesNaiveArray) {
+  range_structure_property_test<RangeVeb>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RangeStructureProperties,
+    ::testing::Values(
+        RangeStructCase{"dups", 700, 0, false, 31},
+        RangeStructCase{"dups_equal_scores", 500, 0, true, 32},
+        RangeStructCase{"all_equal", 400, 1, false, 33},
+        RangeStructCase{"reverse_sorted", 777, 2, false, 34},
+        RangeStructCase{"heavy_dups", 640, 3, false, 35},
+        RangeStructCase{"reverse_equal_scores", 300, 2, true, 36}),
+    [](const auto& info) { return std::string(info.param.name); });
 
 // ------------------------------------------------------ cross-structure ---
 
