@@ -2,6 +2,9 @@
 // timing, and aligned table/CSV output matching the series the paper plots.
 #pragma once
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -13,6 +16,8 @@
 
 #include "parlis/parallel/scheduler.hpp"
 #include "parlis/util/timer.hpp"
+
+extern char** environ;
 
 namespace parlis::bench {
 
@@ -57,6 +62,80 @@ class Flags {
   std::vector<std::string> args_;
   mutable std::string eq_value_;  // backing storage for --key=value results
 };
+
+/// Parses a comma-separated list of integers ("1,2,4").
+inline std::vector<int> parse_int_list(const std::string& s) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    out.push_back(std::atoi(s.c_str() + pos));
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Re-executes this binary with the given argument vector and
+/// PARLIS_NUM_THREADS=threads in the child environment (the pool size is
+/// fixed per process, so thread sweeps respawn). Collects every
+/// "RESULT <v>" line the child prints on stdout, in order; returns an
+/// empty vector if the child could not be spawned or exited nonzero.
+///
+/// fork+execve with an argv vector — no shell in between, so argv0 paths
+/// with spaces survive and no flag is lost to quoting.
+inline std::vector<double> run_self_with_threads(
+    const char* argv0, int threads, const std::vector<std::string>& args) {
+  // Everything that allocates is built BEFORE fork(): once the pool has
+  // started, fork() may land while another thread holds the malloc lock,
+  // and a child that then allocates deadlocks on the inherited lock. The
+  // child only dup2s, closes, and execs.
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(argv0));
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  std::string thread_var = "PARLIS_NUM_THREADS=" + std::to_string(threads);
+  std::vector<char*> envp;
+  for (char** e = environ; *e != nullptr; e++) {
+    if (std::strncmp(*e, "PARLIS_NUM_THREADS=", 19) != 0) envp.push_back(*e);
+  }
+  envp.push_back(const_cast<char*>(thread_var.c_str()));
+  envp.push_back(nullptr);
+
+  int fds[2];
+  if (pipe(fds) != 0) return {};
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return {};
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe, PARLIS_NUM_THREADS=threads, exec argv0.
+    dup2(fds[1], STDOUT_FILENO);
+    close(fds[0]);
+    close(fds[1]);
+    execvpe(argv0, argv.data(), envp.data());  // PATH lookup for bare names
+    _exit(127);
+  }
+  close(fds[1]);
+  std::vector<double> results;
+  FILE* in = fdopen(fds[0], "r");
+  if (in != nullptr) {
+    char line[512];
+    while (fgets(line, sizeof(line), in) != nullptr) {
+      double v;
+      if (std::sscanf(line, "RESULT %lf", &v) == 1) results.push_back(v);
+    }
+    fclose(in);
+  } else {
+    close(fds[0]);
+  }
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return {};
+  return results;
+}
 
 /// Best-of-reps wall-clock time of fn (warm-up excluded when reps > 1).
 inline double time_best_of(int reps, const std::function<void()>& fn) {

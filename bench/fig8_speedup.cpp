@@ -22,18 +22,6 @@ using namespace parlis::bench;
 
 namespace {
 
-std::vector<int> parse_list(const std::string& s) {
-  std::vector<int> out;
-  size_t pos = 0;
-  while (pos < s.size()) {
-    out.push_back(std::atoi(s.c_str() + pos));
-    size_t comma = s.find(',', pos);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return out;
-}
-
 // Child mode: run one measurement and print "RESULT <seconds>".
 int run_child(int64_t n, int64_t k, const char* pattern, int reps) {
   auto a = std::strcmp(pattern, "line") == 0 ? line_pattern(n, k, 23 + k)
@@ -44,24 +32,18 @@ int run_child(int64_t n, int64_t k, const char* pattern, int reps) {
   return 0;
 }
 
+// Respawns this binary at the given pool size (PARLIS_NUM_THREADS in the
+// child env, flags as an argv vector — no shell round-trip).
 double run_measurement(const char* self, int threads, int64_t n, int64_t k,
                        const char* pattern, int reps) {
-  char cmd[512];
-  std::snprintf(cmd, sizeof(cmd),
-                "PARLIS_NUM_THREADS=%d %s --child 1 --n %lld --k %lld "
-                "--pattern-%s 1 --reps %d",
-                threads, self, static_cast<long long>(n),
-                static_cast<long long>(k), pattern, reps);
-  FILE* pipe = popen(cmd, "r");
-  if (!pipe) return -1;
-  char line[256];
-  double t = -1;
-  while (fgets(line, sizeof(line), pipe)) {
-    double v;
-    if (std::sscanf(line, "RESULT %lf", &v) == 1) t = v;
-  }
-  pclose(pipe);
-  return t;
+  std::vector<std::string> args = {
+      "--child",       "1",
+      "--n",           std::to_string(n),
+      "--k",           std::to_string(k),
+      std::string("--pattern-") + pattern, "1",
+      "--reps",        std::to_string(reps)};
+  std::vector<double> results = run_self_with_threads(self, threads, args);
+  return results.empty() ? -1 : results.back();
 }
 
 }  // namespace
@@ -74,14 +56,8 @@ int main(int argc, char** argv) {
     const char* pattern = flags.has("pattern-line") ? "line" : "range";
     return run_child(n, flags.get("k", 100), pattern, reps);
   }
-  std::string tl = "1,2,4";
-  if (flags.has("threadlist")) {
-    // crude: find the value after --threadlist
-    for (int i = 1; i + 1 < argc; i++) {
-      if (std::strcmp(argv[i], "--threadlist") == 0) tl = argv[i + 1];
-    }
-  }
-  std::vector<int> threads = parse_list(tl);
+  std::string tl = flags.get_str("threadlist", "1,2,4");
+  std::vector<int> threads = parse_int_list(tl);
   BenchJson json(flags.get_str("out", ""));
   std::printf("fig8: LIS self-relative speedup, n=%lld, threads={%s}\n",
               static_cast<long long>(n), tl.c_str());

@@ -1,0 +1,163 @@
+// Chase–Lev work-stealing deque specialized for the scheduler's task
+// pointers (Chase & Lev, SPAA'05, with the C11 memory orderings of Lê,
+// Pop, Cohen & Nardelli, PPoPP'13).
+//
+// Single-owner bottom end: push and pop are plain loads/stores plus one
+// release fence (pop needs a seq_cst fence and, only for the last element,
+// one CAS). Multi-thief top end: steal is an acquire snapshot plus one
+// seq_cst CAS — no locks anywhere, so a spawn costs a handful of atomic
+// ops instead of a mutex acquire + std::deque allocation.
+//
+// Elements are RawTask pointers into the forking frame's stack (the frame
+// joins before returning, so the pointee outlives every access). Storing a
+// single pointer per slot keeps the thief's pre-CAS read tear-free without
+// per-slot locks or double-wide atomics.
+//
+// The circular buffer grows by doubling; retired buffers stay linked until
+// the deque is destroyed because a concurrent thief may still be reading a
+// slot of an old buffer it loaded before the swap. Total retired memory is
+// bounded by the final capacity (geometric series).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+// ThreadSanitizer does not model standalone memory fences, so the
+// release-fence publication chain below reads as a race on the task
+// payload. Under TSan every deque access runs seq_cst instead — the
+// original sequentially-consistent Chase–Lev formulation, correct but
+// slower; the fence-based fast path is what ships in normal builds.
+#if defined(__SANITIZE_THREAD__)
+#define PARLIS_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PARLIS_TSAN_BUILD 1
+#endif
+#endif
+
+namespace parlis::internal {
+
+#ifdef PARLIS_TSAN_BUILD
+inline constexpr std::memory_order kClDequeRelaxed = std::memory_order_seq_cst;
+inline constexpr std::memory_order kClDequeAcquire = std::memory_order_seq_cst;
+inline constexpr std::memory_order kClDequeRelease = std::memory_order_seq_cst;
+inline void cl_deque_fence(std::memory_order) {}
+#else
+inline constexpr std::memory_order kClDequeRelaxed = std::memory_order_relaxed;
+inline constexpr std::memory_order kClDequeAcquire = std::memory_order_acquire;
+inline constexpr std::memory_order kClDequeRelease = std::memory_order_release;
+inline void cl_deque_fence(std::memory_order mo) {
+  std::atomic_thread_fence(mo);
+}
+#endif
+
+struct RawTask;
+
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(int64_t initial_capacity = 256) {
+    buffer_.store(new Buffer(initial_capacity, nullptr),
+                  kClDequeRelaxed);
+  }
+
+  ~ChaseLevDeque() {
+    Buffer* b = buffer_.load(kClDequeRelaxed);
+    while (b != nullptr) {
+      Buffer* prev = b->prev;
+      delete b;
+      b = prev;
+    }
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only. Pushes t at the bottom.
+  void push(RawTask* t) {
+    int64_t b = bottom_.load(kClDequeRelaxed);
+    int64_t top = top_.load(kClDequeAcquire);
+    Buffer* a = buffer_.load(kClDequeRelaxed);
+    if (b - top > a->capacity - 1) a = grow(a, top, b);
+    a->slot(b).store(t, kClDequeRelaxed);
+    cl_deque_fence(std::memory_order_release);
+    bottom_.store(b + 1, kClDequeRelaxed);
+  }
+
+  /// Owner only. Pops the bottom task, or nullptr if the deque is empty
+  /// (including losing the last-element race to a thief).
+  RawTask* pop() {
+    int64_t b = bottom_.load(kClDequeRelaxed) - 1;
+    Buffer* a = buffer_.load(kClDequeRelaxed);
+    bottom_.store(b, kClDequeRelaxed);
+    cl_deque_fence(std::memory_order_seq_cst);
+    int64_t top = top_.load(kClDequeRelaxed);
+    RawTask* t = nullptr;
+    if (top <= b) {
+      t = a->slot(b).load(kClDequeRelaxed);
+      if (top == b) {
+        // Last element: race a thief for it via the top counter.
+        if (!top_.compare_exchange_strong(top, top + 1,
+                                          std::memory_order_seq_cst,
+                                          kClDequeRelaxed)) {
+          t = nullptr;
+        }
+        bottom_.store(b + 1, kClDequeRelaxed);
+      }
+    } else {
+      bottom_.store(b + 1, kClDequeRelaxed);
+    }
+    return t;
+  }
+
+  /// Any thread. Steals the top task, or nullptr if empty or the CAS race
+  /// was lost (callers just move to the next victim).
+  RawTask* steal() {
+    int64_t top = top_.load(kClDequeAcquire);
+    cl_deque_fence(std::memory_order_seq_cst);
+    int64_t b = bottom_.load(kClDequeAcquire);
+    if (top >= b) return nullptr;
+    Buffer* a = buffer_.load(kClDequeAcquire);
+    RawTask* t = a->slot(top).load(kClDequeRelaxed);
+    if (!top_.compare_exchange_strong(top, top + 1, std::memory_order_seq_cst,
+                                      kClDequeRelaxed)) {
+      return nullptr;
+    }
+    return t;
+  }
+
+  /// Any thread; approximate (a racing snapshot). Used only by the idle
+  /// probe deciding whether a worker may park.
+  bool maybe_nonempty() const {
+    return top_.load(kClDequeAcquire) <
+           bottom_.load(kClDequeAcquire);
+  }
+
+ private:
+  struct Buffer {
+    Buffer(int64_t cap, Buffer* prev_buf)
+        : capacity(cap), mask(cap - 1), prev(prev_buf),
+          slots(new std::atomic<RawTask*>[cap]) {}
+    ~Buffer() { delete[] slots; }
+    std::atomic<RawTask*>& slot(int64_t i) { return slots[i & mask]; }
+    const int64_t capacity;
+    const int64_t mask;  // capacity is a power of two
+    Buffer* const prev;
+    std::atomic<RawTask*>* const slots;
+  };
+
+  Buffer* grow(Buffer* a, int64_t top, int64_t b) {
+    Buffer* bigger = new Buffer(a->capacity * 2, a);
+    for (int64_t i = top; i < b; i++) {
+      bigger->slot(i).store(a->slot(i).load(kClDequeRelaxed),
+                            kClDequeRelaxed);
+    }
+    buffer_.store(bigger, kClDequeRelease);
+    return bigger;
+  }
+
+  alignas(64) std::atomic<int64_t> top_{0};
+  alignas(64) std::atomic<int64_t> bottom_{0};
+  alignas(64) std::atomic<Buffer*> buffer_{nullptr};
+};
+
+}  // namespace parlis::internal

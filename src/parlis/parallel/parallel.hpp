@@ -1,6 +1,17 @@
-// parallel_for and small fork-join helpers built on the scheduler.
+// parallel_for with lazy range splitting, built on the scheduler.
+//
+// A parallel_for call advertises ONE stealable descriptor for its whole
+// [lo, hi) range instead of eagerly spawning a log-depth tree of ~8·p
+// tasks. The calling worker claims grain-sized blocks off the low end of
+// the descriptor (one CAS per block); a thief that takes the advertisement
+// CASes the upper half of whatever remains off for itself and processes it
+// the same lazily-split way, re-advertising its own half for further
+// thieves. An uncontended loop therefore runs as a plain sequential loop
+// with one atomic op per block, and task count scales with the number of
+// steals (O(p) in the steady state), not with the range length.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "parlis/parallel/scheduler.hpp"
@@ -9,15 +20,87 @@ namespace parlis {
 
 namespace internal {
 
+// Range offsets are packed (lo << 32 | hi) into one atomic word so block
+// claims and half-steals linearize on a single CAS; parallel_for pre-splits
+// ranges too long for 32-bit offsets.
+inline constexpr int64_t kMaxLazyRange = int64_t{1} << 31;
+
+// Lazy splitting makes small blocks cheap (one uncontended CAS each), so
+// the default grain is capped well below the eager scheduler's n/8p chunks
+// — the tail of a loop balances instead of serializing on one worker.
+inline constexpr int64_t kDefaultMaxGrain = 4096;
+
+constexpr uint64_t pack_range(uint32_t lo, uint32_t hi) {
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+
+// Shared descriptor for one contiguous chunk of a parallel_for. Lives on
+// the advertising frame's stack (the frame joins before returning).
 template <typename F>
-void parallel_for_rec(int64_t lo, int64_t hi, int64_t grain, const F& f) {
-  if (hi - lo <= grain) {
+struct RangeWork {
+  std::atomic<uint64_t> state;  // packed (lo, hi) offsets from base
+  int64_t base;
+  int64_t grain;
+  const F* f;
+};
+
+template <typename F>
+void parallel_for_lazy(int64_t lo, int64_t hi, int64_t grain, const F& f);
+
+// Thief-side entry: split the upper half of whatever remains off the
+// victim's descriptor and process it as a new lazily-split range. The lo
+// field may legitimately sit past hi (an owner claim that overshot a
+// drained range), so the remainder is computed signed.
+template <typename F>
+void range_steal_entry(void* arg) {
+  auto& r = *static_cast<RangeWork<F>*>(arg);
+  uint64_t s = r.state.load(std::memory_order_relaxed);
+  while (true) {
+    int64_t lo = static_cast<int64_t>(s >> 32);
+    int64_t hi = static_cast<int64_t>(s & 0xffffffffull);
+    if (hi - lo <= r.grain) return;  // not worth taking
+    int64_t mid = lo + (hi - lo) / 2;
+    if (r.state.compare_exchange_weak(
+            s, pack_range(static_cast<uint32_t>(lo), static_cast<uint32_t>(mid)),
+            std::memory_order_acq_rel, std::memory_order_relaxed)) {
+      parallel_for_lazy(r.base + mid, r.base + hi, r.grain, *r.f);
+      return;
+    }
+  }
+}
+
+template <typename F>
+void parallel_for_lazy(int64_t lo, int64_t hi, int64_t grain, const F& f) {
+  int64_t n = hi - lo;
+  if (n <= grain) {
     for (int64_t i = lo; i < hi; i++) f(i);
     return;
   }
-  int64_t mid = lo + (hi - lo) / 2;
-  par_do([&] { parallel_for_rec(lo, mid, grain, f); },
-         [&] { parallel_for_rec(mid, hi, grain, f); });
+  RangeWork<F> r{{pack_range(0, static_cast<uint32_t>(n))}, lo, grain, &f};
+  std::atomic<uint32_t> pending{1};
+  RawTask t;
+  t.fn = &range_steal_entry<F>;
+  t.arg = &r;
+  t.pending = &pending;
+  pool_push(&t);
+  // Owner loop: claim grain-sized blocks off the low end — one fetch_add
+  // per block. The returned word is a consistent snapshot (thief CASes on
+  // the whole word fail against a concurrent add and retry), and a thief's
+  // later split point lies at or above the advanced lo, so claims never
+  // overlap. The final add may overshoot a drained range by one block; the
+  // snapshot shows lo >= hi and the claim is empty.
+  const uint64_t step = static_cast<uint64_t>(grain) << 32;
+  while (true) {
+    uint64_t s = r.state.fetch_add(step, std::memory_order_acq_rel);
+    int64_t clo = static_cast<int64_t>(s >> 32);
+    int64_t chi = static_cast<int64_t>(s & 0xffffffffull);
+    if (clo >= chi) break;
+    int64_t blo = lo + clo;
+    int64_t bhi = lo + (clo + grain < chi ? clo + grain : chi);
+    for (int64_t i = blo; i < bhi; i++) f(i);
+    if (clo + grain >= chi) break;  // this claim reached the snapshot's end
+  }
+  if (!pool_pop_if(&t)) pool_wait(pending);  // join any stolen upper halves
 }
 
 }  // namespace internal
@@ -30,8 +113,8 @@ void parallel_for_rec(int64_t lo, int64_t hi, int64_t grain, const F& f) {
 inline constexpr int64_t kPoolGateGrain = 2048;
 
 /// Applies f(i) for every i in [lo, hi) in parallel. `grain` is the largest
-/// chunk executed sequentially; 0 picks a default aimed at ~8 chunks per
-/// worker.
+/// block executed sequentially between scheduler interactions; 0 picks a
+/// default (~8 blocks per worker, capped at 4096 iterations).
 template <typename F>
 void parallel_for(int64_t lo, int64_t hi, const F& f, int64_t grain = 0) {
   if (hi <= lo) return;
@@ -43,16 +126,25 @@ void parallel_for(int64_t lo, int64_t hi, const F& f, int64_t grain = 0) {
     for (int64_t i = lo; i < hi; i++) f(i);
     return;
   }
+  int p = num_workers();
   if (grain <= 0) {
-    int64_t pieces = static_cast<int64_t>(num_workers()) * 8;
+    int64_t pieces = static_cast<int64_t>(p) * 8;
     grain = (n + pieces - 1) / pieces;
     if (grain < 1) grain = 1;
+    if (grain > internal::kDefaultMaxGrain) grain = internal::kDefaultMaxGrain;
   }
-  if (n <= grain || num_workers() == 1) {
+  if (n <= grain || p == 1) {
     for (int64_t i = lo; i < hi; i++) f(i);
     return;
   }
-  internal::parallel_for_rec(lo, hi, grain, f);
+  if (n >= internal::kMaxLazyRange) {
+    // Pre-split so offsets fit the packed 32-bit descriptor.
+    int64_t mid = lo + n / 2;
+    par_do([&] { parallel_for(lo, mid, f, grain); },
+           [&] { parallel_for(mid, hi, f, grain); });
+    return;
+  }
+  internal::parallel_for_lazy(lo, hi, grain, f);
 }
 
 }  // namespace parlis

@@ -8,6 +8,11 @@
 //   merge:            O(n) work, O(log^2 n) span (dual binary search)
 //   sort:             O(n log n) work, O(log^3 n) span (merge sort)
 //   counting sort:    O(n + buckets) work (blocked histograms)
+//
+// Fork points cost a handful of atomic ops on the lock-free runtime: the
+// par_do recursions below keep their join counters on the stack and the
+// parallel_for loops run as lazily-split ranges, so an uncontended
+// primitive never allocates or locks inside the scheduler.
 #pragma once
 
 #include <algorithm>

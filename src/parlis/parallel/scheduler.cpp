@@ -1,11 +1,13 @@
 #include "parlis/parallel/scheduler.hpp"
 
+#include "parlis/parallel/chase_lev_deque.hpp"
 #include "parlis/parallel/worker_counter.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
-#include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -15,11 +17,14 @@ namespace internal {
 namespace {
 
 thread_local int tl_worker_id = -1;
-int g_requested_workers = 0;  // set_num_workers target, 0 = default
-// Atomic: read by LazyWorkerSlots from worker threads concurrently with the
-// first pool() call's store. Relaxed suffices — pool workers are spawned
-// after the store (thread creation orders it), so they can never observe a
-// stale false.
+
+// Worker-count configuration. g_config_mu serializes set_num_workers()
+// against pool construction, so when the two race exactly one side wins and
+// the loser deterministically observes the outcome (set_num_workers returns
+// false). g_pool_created is additionally read lock-free by LazyWorkerSlots
+// and the parallel_for pool gate.
+std::mutex g_config_mu;
+std::atomic<int> g_requested_workers{0};  // set_num_workers target, 0 = default
 std::atomic<bool> g_pool_created{false};
 
 // Leaked on purpose: workers may record a last steal while statics are being
@@ -32,6 +37,22 @@ WorkerCounter& steal_counter() {
   static WorkerCounter* c = new WorkerCounter;
   return *c;
 }
+// Threads outside the pool alias worker slot 0, where a plain load+store
+// counter would lose updates under concurrency — they count on these shared
+// atomics instead, keeping scheduler_stats() exact under concurrent
+// external submission.
+std::atomic<uint64_t> g_external_spawns{0};
+std::atomic<uint64_t> g_external_steals{0};
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
 
 class Pool {
  public:
@@ -40,148 +61,270 @@ class Pool {
     return pool;
   }
 
-  int num_workers() const { return static_cast<int>(deques_.size()); }
+  int num_workers() const { return p_; }
 
-  void push(RawTask t) {
-    int id = tl_worker_id >= 0 ? tl_worker_id : 0;
-    spawn_counter().add();
-    {
-      std::lock_guard<std::mutex> lk(deques_[id].mu);
-      deques_[id].q.push_back(t);
-    }
-    if (sleepers_.load(std::memory_order_relaxed) > 0) {
-      std::lock_guard<std::mutex> lk(sleep_mu_);
-      sleep_cv_.notify_one();
-    }
-  }
-
-  bool pop_if(void* arg) {
-    int id = tl_worker_id >= 0 ? tl_worker_id : 0;
-    std::lock_guard<std::mutex> lk(deques_[id].mu);
-    auto& q = deques_[id].q;
-    if (!q.empty() && q.back().arg == arg) {
-      q.pop_back();
-      return true;
-    }
-    return false;
-  }
-
-  // Steals one task (top of some deque, own deque's bottom included as a
-  // fallback) and runs it. Returns false if nothing was found.
-  bool try_run_one() {
-    int id = tl_worker_id >= 0 ? tl_worker_id : 0;
-    int p = num_workers();
-    RawTask t;
-    // Own deque first (bottom, LIFO): nested joins prefer their own work.
-    {
-      std::lock_guard<std::mutex> lk(deques_[id].mu);
-      if (!deques_[id].q.empty()) {
-        t = deques_[id].q.back();
-        deques_[id].q.pop_back();
-        run(t);
-        return true;
-      }
-    }
-    for (int i = 1; i < p; i++) {
-      int v = (id + i) % p;
-      bool stolen = false;
+  void push(RawTask* t) {
+    int id = tl_worker_id;
+    if (id >= 0) {
+      // Pool worker (or the creating thread): lock-free single-owner push.
+      spawn_counter().add();
+      deques_[id].push(t);
+    } else {
+      // External thread: may not touch the single-owner deques; goes through
+      // the locked submission queue that workers also poll.
+      g_external_spawns.fetch_add(1, std::memory_order_relaxed);
       {
-        std::lock_guard<std::mutex> lk(deques_[v].mu);
-        if (!deques_[v].q.empty()) {
-          t = deques_[v].q.front();  // steal from the top (FIFO)
-          deques_[v].q.pop_front();
-          stolen = true;
-        }
+        std::lock_guard<std::mutex> lk(external_mu_);
+        external_.push_back(t);
       }
-      if (stolen) {
-        steal_counter().add();
-        run(t);
+      external_size_.fetch_add(1, std::memory_order_release);
+    }
+    wake_one_if_parked();
+  }
+
+  bool pop_if(RawTask* t) {
+    int id = tl_worker_id;
+    if (id >= 0) {
+      RawTask* got = deques_[id].pop();
+      if (got == t) return true;
+      // In pure nested fork-join the bottom task at a join point is either
+      // ours or the deque is empty; restore anything else defensively.
+      if (got != nullptr) deques_[id].push(got);
+      return false;
+    }
+    std::lock_guard<std::mutex> lk(external_mu_);
+    for (auto it = external_.rbegin(); it != external_.rend(); ++it) {
+      if (*it == t) {
+        external_.erase(std::next(it).base());
+        external_size_.fetch_sub(1, std::memory_order_relaxed);
         return true;
       }
     }
     return false;
+  }
+
+  // Runs one task — own deque bottom first (nested joins prefer their own
+  // work), then a randomized-start steal sweep, then the external queue.
+  bool try_run_one() {
+    int id = tl_worker_id;
+    if (id >= 0) {
+      RawTask* t = deques_[id].pop();
+      if (t != nullptr) {
+        run(t);
+        return true;
+      }
+    }
+    return try_steal_one(id);
   }
 
   void wait(std::atomic<uint32_t>& pending) {
+    // Helping join: no cv-parking here — a child's completing decrement
+    // does not signal the condition variable. Spin, then yield, then fall
+    // back to short timed naps: on an oversubscribed host a yield-spinning
+    // waiter steals timeslices from the worker actually running the child,
+    // and the nap costs at most its own length in join latency.
+    int idle = 0;
     while (pending.load(std::memory_order_acquire) != 0) {
-      if (!try_run_one()) std::this_thread::yield();
+      if (try_run_one()) {
+        idle = 0;
+        continue;
+      }
+      idle++;
+      if (idle < kSpinsBeforeYield) {
+        cpu_relax();
+      } else if (idle < kSpinsBeforeYield + kYieldsBeforePark) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
     }
   }
 
  private:
-  struct Deque {
-    std::mutex mu;
-    std::deque<RawTask> q;
-  };
+  static constexpr int kSpinsBeforeYield = 64;
+  static constexpr int kYieldsBeforePark = 128;
 
   Pool() {
-    int p = g_requested_workers;
+    int p;
+    {
+      // Under g_config_mu: a set_num_workers() racing with this construction
+      // either lands before the flag flips (honored) or observes it and
+      // returns false — never a torn/ignored write.
+      std::lock_guard<std::mutex> lk(g_config_mu);
+      g_pool_created.store(true, std::memory_order_release);
+      p = g_requested_workers.load(std::memory_order_relaxed);
+    }
     if (p <= 0) {
       if (const char* env = std::getenv("PARLIS_NUM_THREADS")) p = std::atoi(env);
     }
     if (p <= 0) p = static_cast<int>(std::thread::hardware_concurrency());
     if (p <= 0) p = 1;
-    deques_ = std::vector<Deque>(p);
+    p_ = p;
+    deques_ = std::make_unique<ChaseLevDeque[]>(p);
     tl_worker_id = 0;  // the creating thread is worker 0
+    threads_.reserve(p - 1);
     for (int i = 1; i < p; i++) {
       threads_.emplace_back([this, i] { worker_loop(i); });
     }
   }
 
   ~Pool() {
-    stop_.store(true, std::memory_order_release);
+    stop_.store(true, std::memory_order_seq_cst);
     {
       std::lock_guard<std::mutex> lk(sleep_mu_);
-      sleep_cv_.notify_all();
+      wake_epoch_.fetch_add(1, std::memory_order_relaxed);
     }
+    sleep_cv_.notify_all();
     for (auto& t : threads_) t.join();
   }
 
-  static void run(const RawTask& t) {
-    t.fn(t.arg);
-    t.pending->fetch_sub(1, std::memory_order_acq_rel);
+  static void run(RawTask* t) {
+    // The descriptor may be freed by the joining frame as soon as pending
+    // hits zero, so the decrement is the last access to either object.
+    std::atomic<uint32_t>* pending = t->pending;
+    t->fn(t->arg);
+    pending->fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  bool try_steal_one(int id) {
+    // Randomized starting victim breaks convoys when several workers go
+    // hunting at once.
+    thread_local uint64_t rng = 0x9e3779b97f4a7c15ull ^
+                                (static_cast<uint64_t>(id + 1) << 32);
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    int start = static_cast<int>(rng % static_cast<uint64_t>(p_));
+    for (int i = 0; i < p_; i++) {
+      int v = start + i;
+      if (v >= p_) v -= p_;
+      if (v == id) continue;
+      RawTask* t = deques_[v].steal();
+      if (t != nullptr) {
+        count_steal(id);
+        run(t);
+        return true;
+      }
+    }
+    if (external_size_.load(std::memory_order_acquire) > 0) {
+      RawTask* t = nullptr;
+      {
+        std::lock_guard<std::mutex> lk(external_mu_);
+        if (!external_.empty()) {
+          t = external_.front();
+          external_.erase(external_.begin());
+          external_size_.fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
+      if (t != nullptr) {
+        count_steal(id);
+        run(t);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static void count_steal(int id) {
+    if (id >= 0) {
+      steal_counter().add();
+    } else {
+      g_external_steals.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   void worker_loop(int id) {
     tl_worker_id = id;
-    int idle_spins = 0;
+    int idle = 0;
     while (!stop_.load(std::memory_order_acquire)) {
       if (try_run_one()) {
-        idle_spins = 0;
+        idle = 0;
         continue;
       }
-      if (++idle_spins < 64) {
+      // Exponential backoff: spin, then yield, then park until a push.
+      idle++;
+      if (idle <= kSpinsBeforeYield) {
+        cpu_relax();
+      } else if (idle <= kSpinsBeforeYield + kYieldsBeforePark) {
         std::this_thread::yield();
-        continue;
+      } else {
+        park();
+        idle = 0;
       }
-      std::unique_lock<std::mutex> lk(sleep_mu_);
-      sleepers_.fetch_add(1, std::memory_order_relaxed);
-      sleep_cv_.wait_for(lk, std::chrono::milliseconds(1));
-      sleepers_.fetch_sub(1, std::memory_order_relaxed);
-      idle_spins = 0;
     }
   }
 
-  std::vector<Deque> deques_;
+  bool work_might_exist() const {
+    for (int i = 0; i < p_; i++) {
+      if (deques_[i].maybe_nonempty()) return true;
+    }
+    return external_size_.load(std::memory_order_acquire) > 0;
+  }
+
+  void park() {
+    // Register as a sleeper *before* the final work re-check (seq_cst RMW,
+    // so the re-check cannot be hoisted above it), then sleep with a long
+    // timeout. The pusher side deliberately reads sleepers_ without a
+    // fence — see wake_one_if_parked(); the timeout bounds the downside of
+    // the one store-buffer interleaving that can miss a just-registering
+    // parker to added latency on an idle worker, never a lost task (the
+    // pushing frame itself pops or helps at its join regardless).
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    uint64_t epoch = wake_epoch_.load(std::memory_order_seq_cst);
+    if (work_might_exist() || stop_.load(std::memory_order_acquire)) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lk(sleep_mu_);
+      sleep_cv_.wait_for(lk, std::chrono::milliseconds(50), [&] {
+        return wake_epoch_.load(std::memory_order_relaxed) != epoch ||
+               stop_.load(std::memory_order_relaxed);
+      });
+    }
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void wake_one_if_parked() {
+    // Cheap probe on the spawn hot path: no fence, no lock unless a worker
+    // is actually parked. The epoch bump happens under sleep_mu_ so it
+    // cannot land between a parker's predicate evaluation and its sleep.
+    if (sleepers_.load(std::memory_order_relaxed) > 0) {
+      {
+        std::lock_guard<std::mutex> lk(sleep_mu_);
+        wake_epoch_.fetch_add(1, std::memory_order_relaxed);
+      }
+      sleep_cv_.notify_one();
+    }
+  }
+
+  int p_ = 1;
+  std::unique_ptr<ChaseLevDeque[]> deques_;
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};
+
+  // External (non-pool) thread submissions; workers poll it after stealing.
+  std::mutex external_mu_;
+  std::vector<RawTask*> external_;
+  std::atomic<int64_t> external_size_{0};
+
+  // Parking protocol (spin → yield → park; wake-on-push only when someone
+  // is actually parked).
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
   std::atomic<int> sleepers_{0};
+  std::atomic<uint64_t> wake_epoch_{0};
 };
 
-Pool& pool() {
-  g_pool_created.store(true, std::memory_order_relaxed);
-  return Pool::get();
-}
+Pool& pool() { return Pool::get(); }
 
 }  // namespace
 
-void pool_push(RawTask t) { pool().push(t); }
-bool pool_pop_if(void* arg) { return pool().pop_if(arg); }
+void pool_push(RawTask* t) { pool().push(t); }
+bool pool_pop_if(RawTask* t) { return pool().pop_if(t); }
 void pool_wait(std::atomic<uint32_t>& pending) { pool().wait(pending); }
 bool pool_started() {
-  return g_pool_created.load(std::memory_order_relaxed);
+  return g_pool_created.load(std::memory_order_acquire);
 }
 
 }  // namespace internal
@@ -189,8 +332,9 @@ bool pool_started() {
 int num_workers() { return internal::pool().num_workers(); }
 
 bool set_num_workers(int n) {
-  if (internal::pool_started()) return false;
-  internal::g_requested_workers = n;
+  std::lock_guard<std::mutex> lk(internal::g_config_mu);
+  if (internal::g_pool_created.load(std::memory_order_relaxed)) return false;
+  internal::g_requested_workers.store(n, std::memory_order_relaxed);
   return true;
 }
 
@@ -211,12 +355,17 @@ bool sequential_mode() {
 }
 
 SchedulerStats scheduler_stats() {
-  return {internal::spawn_counter().read(), internal::steal_counter().read()};
+  return {internal::spawn_counter().read() +
+              internal::g_external_spawns.load(std::memory_order_relaxed),
+          internal::steal_counter().read() +
+              internal::g_external_steals.load(std::memory_order_relaxed)};
 }
 
 void reset_scheduler_stats() {
   internal::spawn_counter().reset();
   internal::steal_counter().reset();
+  internal::g_external_spawns.store(0, std::memory_order_relaxed);
+  internal::g_external_steals.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace parlis

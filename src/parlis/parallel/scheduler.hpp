@@ -1,20 +1,28 @@
-// Work-stealing fork-join scheduler.
+// Lock-free work-stealing fork-join scheduler.
 //
 // This is the substrate that plays the role ParlayLib plays in the paper: a
 // binary fork-join runtime on which `par_do` / `parallel_for` and all the
 // parallel primitives are built. The design is the classic help-first
-// work-stealing scheme:
+// work-stealing scheme on lock-free deques:
 //
-//   * every worker owns a deque of tasks; `fork` pushes to the bottom,
-//   * the owner pops from the bottom (LIFO), thieves steal from the top,
+//   * every worker owns a Chase–Lev deque; `fork` pushes a pointer to a
+//     stack-resident task descriptor at the bottom (plain stores + one
+//     release fence — no mutex, no allocation),
+//   * the owner pops from the bottom (LIFO), thieves CAS-steal from the top,
 //   * a joining thread that finds its child stolen helps by stealing other
-//     tasks until the child completes, so joins never block a core.
+//     tasks until the child completes, so joins never block a core,
+//   * threads outside the pool submit through a small locked side queue
+//     that workers also poll (they may not touch the single-owner deques),
+//   * idle workers back off exponentially — spin, then yield, then park on
+//     a futex-backed condition variable; pushes wake a worker only when one
+//     is actually parked.
 //
-// The pool is created lazily on first use. The number of workers defaults to
-// std::thread::hardware_concurrency() and can be overridden either with the
-// PARLIS_NUM_THREADS environment variable or programmatically with
-// set_num_workers() *before* first use (tests use 4 to exercise concurrency
-// even on single-core machines).
+// Join counters (`pending` below) live on the forking frame's stack, so
+// nested fork-join never allocates. The pool is created lazily on first
+// use. The number of workers defaults to hardware_concurrency() and can be
+// overridden either with the PARLIS_NUM_THREADS environment variable or
+// programmatically with set_num_workers() *before* first use (tests use 4
+// to exercise concurrency even on single-core machines).
 #pragma once
 
 #include <atomic>
@@ -29,7 +37,8 @@ int num_workers();
 
 /// Sets the worker count for the pool. Must be called before the pool is
 /// first used (i.e., before any par_do/parallel_for/num_workers call);
-/// otherwise it has no effect and returns false.
+/// otherwise it has no effect and returns false. Thread-safe: when it races
+/// with the first pool use, exactly one side wins and the loser sees false.
 bool set_num_workers(int n);
 
 /// Returns the id of the calling worker in [0, num_workers()), or 0 for
@@ -42,9 +51,12 @@ int worker_id();
 bool set_sequential_mode(bool on);
 bool sequential_mode();
 
-/// Lifetime scheduler statistics, gathered contention-free (one slot per
-/// worker, summed on read): spawns = tasks pushed by par_do forks, steals =
-/// tasks taken from another worker's deque.
+/// Lifetime scheduler statistics: spawns = task descriptors pushed (par_do
+/// forks and parallel_for range advertisements), steals = tasks taken from
+/// another worker's deque or the external submission queue. Pool workers
+/// count contention-free (one slot per worker); threads outside the pool
+/// count on separate shared atomics, so totals stay exact even under
+/// concurrent external submission.
 struct SchedulerStats {
   uint64_t spawns = 0;
   uint64_t steals = 0;
@@ -55,16 +67,21 @@ void reset_scheduler_stats();
 
 namespace internal {
 
+// A task descriptor. Lives on the stack of the forking frame, which always
+// joins (pop or pending == 0) before returning, so the pointer pushed into
+// the scheduler outlives every access.
 struct RawTask {
   void (*fn)(void*) = nullptr;
   void* arg = nullptr;
   std::atomic<uint32_t>* pending = nullptr;  // decremented after fn runs
 };
 
-// Pool interface used by par_do below. All functions are thread-safe.
-void pool_push(RawTask t);
-// Pops the bottom task of the calling worker's deque if it matches `arg`.
-bool pool_pop_if(void* arg);
+// Pool interface used by par_do / parallel_for. All functions are
+// thread-safe; push/pop pair up per forking frame.
+void pool_push(RawTask* t);
+// Pops the bottom task of the calling worker's deque if it is `t` (the
+// normal un-stolen join). Returns false if t was stolen.
+bool pool_pop_if(RawTask* t);
 // Runs stolen tasks until *pending drops to zero.
 void pool_wait(std::atomic<uint32_t>& pending);
 // True once the pool has been started (after first use).
@@ -73,7 +90,8 @@ bool pool_started();
 }  // namespace internal
 
 /// Runs `left()` and `right()` potentially in parallel and returns when both
-/// are complete. This is the binary `fork` of the work-span model.
+/// are complete. This is the binary `fork` of the work-span model. The task
+/// descriptor and join counter live on this frame's stack — no allocation.
 template <typename Left, typename Right>
 void par_do(Left&& left, Right&& right) {
   if (sequential_mode() || num_workers() == 1) {
@@ -83,16 +101,13 @@ void par_do(Left&& left, Right&& right) {
   }
   std::atomic<uint32_t> pending{1};
   using R = std::remove_reference_t<Right>;
-  struct Pack {
-    R* f;
-  } pack{&right};
   internal::RawTask t;
-  t.fn = [](void* a) { (*static_cast<Pack*>(a)->f)(); };
-  t.arg = &pack;
+  t.fn = [](void* a) { (*static_cast<R*>(a))(); };
+  t.arg = const_cast<std::remove_const_t<R>*>(&right);
   t.pending = &pending;
-  internal::pool_push(t);
+  internal::pool_push(&t);
   left();
-  if (internal::pool_pop_if(&pack)) {
+  if (internal::pool_pop_if(&t)) {
     right();  // not stolen; run inline
   } else {
     internal::pool_wait(pending);  // stolen; help until it finishes

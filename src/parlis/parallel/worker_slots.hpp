@@ -9,9 +9,13 @@
 // effects: creating a slot-backed structure neither spins up the pool nor
 // invalidates a later set_num_workers() call. Pre-pool use is necessarily
 // single-threaded (no pool workers exist yet), and pool workers always
-// observe the started pool because their spawn happens-after it — the same
-// contract as the scheduler itself: calling threads must be pool workers,
-// and threads outside the pool alias worker 0's slot.
+// observe the started pool because their spawn happens-after it.
+//
+// Threads outside the pool alias worker 0's slot (worker_id() maps them to
+// 0), so slot exactness holds only for pool workers. The scheduler itself
+// no longer shares this caveat — external submissions go through a locked
+// side queue and separate atomic counters — so exactness-critical external
+// accounting belongs there, not in a slot.
 //
 // SlotT must be default-constructible and trivially copyable (moves copy
 // the boot slot and transfer the array). Moves must not race with local().

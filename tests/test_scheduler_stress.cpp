@@ -1,11 +1,13 @@
 // Stress tests for the work-stealing runtime: deep nesting, irregular task
-// trees, reentrancy from stolen tasks, heavy join contention, and the
-// sequential-mode switch — the failure modes of help-first schedulers.
+// trees, reentrancy from stolen tasks, heavy join contention, concurrent
+// submission from threads outside the pool, spawn/steal accounting, and
+// the sequential-mode switch — the failure modes of help-first schedulers.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "parlis/parallel/parallel.hpp"
@@ -109,6 +111,114 @@ TEST(SchedulerStress, MixedPrimitivesUnderLoad) {
   int64_t even_count = 0;
   for (int64_t x : data) even_count += (x % 2 == 0);
   EXPECT_EQ(static_cast<int64_t>(evens.size()), even_count);
+}
+
+TEST(SchedulerStress, ExternalThreadsSubmitConcurrently) {
+  // Threads *outside* the pool (plain std::threads) submit parallel_for and
+  // nested par_do work at the same time. External submissions go through
+  // the locked side queue rather than a single-owner deque; no task may be
+  // lost or doubled, and every join must complete.
+  (void)num_workers();  // ensure the pool exists before the externals start
+  constexpr int kThreads = 4;
+  constexpr int64_t kPerThread = 20000;
+  std::vector<std::atomic<int32_t>> hits(kThreads * kPerThread);
+  std::vector<std::atomic<int64_t>> sums(kThreads);
+  std::vector<std::thread> external;
+  external.reserve(kThreads);
+  for (int e = 0; e < kThreads; e++) {
+    external.emplace_back([&, e] {
+      int64_t lo = e * kPerThread, hi = lo + kPerThread;
+      parallel_for(lo, hi, [&](int64_t i) { hits[i].fetch_add(1); });
+      int64_t a = 0, b = 0;
+      par_do([&] { a = skewed_sum(0, 30000); },
+             [&] { b = skewed_sum(30000, 60000); });
+      sums[e].store(a + b);
+    });
+  }
+  for (auto& t : external) t.join();
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  for (auto& s : sums) {
+    EXPECT_EQ(s.load(), int64_t{60000} * (60000 - 1) / 2);
+  }
+}
+
+TEST(SchedulerStress, ExternalDeepNestingUnderPoolLoad) {
+  // Deep nested par_do driven from an external thread while pool-internal
+  // parallel_fors churn: external joins must help (steal) without owning a
+  // deque, and the pool must drain the side queue while busy.
+  (void)num_workers();
+  std::atomic<int64_t> leaves{0};
+  std::function<void(int)> deep = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    par_do([&] { deep(depth - 1); }, [&] { deep(depth - 1); });
+  };
+  std::thread ext([&] { deep(12); });
+  std::vector<std::atomic<int32_t>> hits(40000);
+  for (int rep = 0; rep < 4; rep++) {
+    parallel_for(0, 40000, [&](int64_t i) { hits[i].fetch_add(1); });
+  }
+  ext.join();
+  EXPECT_EQ(leaves.load(), int64_t{1} << 12);
+  for (auto& h : hits) ASSERT_EQ(h.load(), 4);
+}
+
+TEST(SchedulerStress, SpawnAccountingExactForParDo) {
+  // Each par_do pushes exactly one task (when the pool has > 1 worker), so
+  // spawn counts must match push counts exactly — including pushes from
+  // external threads, which use shared atomic counters rather than the
+  // per-worker slots (a plain slot-0 alias would lose updates here).
+  if (num_workers() == 1) GTEST_SKIP() << "par_do inlines with one worker";
+  reset_scheduler_stats();
+  constexpr int kMainForks = 500;
+  constexpr int kExtThreads = 3;
+  constexpr int kExtForks = 400;
+  std::atomic<int64_t> ran{0};
+  for (int i = 0; i < kMainForks; i++) {
+    par_do([&] { ran.fetch_add(1, std::memory_order_relaxed); },
+           [&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  std::vector<std::thread> external;
+  for (int e = 0; e < kExtThreads; e++) {
+    external.emplace_back([&] {
+      for (int i = 0; i < kExtForks; i++) {
+        par_do([&] { ran.fetch_add(1, std::memory_order_relaxed); },
+               [&] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : external) t.join();
+  constexpr uint64_t kForks = kMainForks + kExtThreads * kExtForks;
+  EXPECT_EQ(ran.load(), int64_t{2} * kForks);
+  SchedulerStats stats = scheduler_stats();
+  EXPECT_EQ(stats.spawns, kForks);
+  // Every steal consumed a pushed task; the rest were popped at their join.
+  EXPECT_LE(stats.steals, stats.spawns);
+}
+
+TEST(SchedulerStress, LazyParallelForSpawnsFewTasks) {
+  // The lazy-splitting contract: one advertised descriptor per
+  // parallel_for plus one per successful range steal — not a task per
+  // grain-sized chunk like the eager spawn tree (~8p tasks).
+  if (num_workers() == 1) GTEST_SKIP() << "parallel_for inlines with one worker";
+  reset_scheduler_stats();
+  constexpr int64_t kN = 1 << 20;
+  constexpr int64_t kGrain = 4096;  // pinned so the spawn ceiling below holds
+  std::vector<std::atomic<int32_t>> hits(kN);
+  parallel_for(0, kN, [&](int64_t i) { hits[i].fetch_add(1); }, kGrain);
+  SchedulerStats stats = scheduler_stats();
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  // Exactly one root advertisement; every further spawn is a thief
+  // re-advertising a stolen half (a thief whose half fits one grain block
+  // spawns nothing), and every steal consumed a spawned task.
+  EXPECT_GE(stats.spawns, 1u);
+  EXPECT_LE(stats.spawns, 1 + stats.steals);
+  EXPECT_LE(stats.steals, stats.spawns);
+  // Structural ceiling: advertisements cannot outnumber grain blocks. The
+  // eager tree would have spawned ~8 tasks per worker unconditionally.
+  EXPECT_LE(stats.spawns, static_cast<uint64_t>(kN / kGrain));
 }
 
 TEST(SchedulerStress, GrainExtremes) {
