@@ -44,8 +44,9 @@ int main(int argc, char** argv) {
                       static_cast<double>(n);
     double logk = std::log2(static_cast<double>(k) + 1.0);
     auto a_small = line_pattern(swgs_n, target_k, 43 + target_k);
-    SwgsResult sw = swgs_lis_ranks(a_small);
-    double probes = static_cast<double>(sw.total_checks) /
+    SwgsStats sw_stats;
+    swgs_lis_ranks(a_small, 42, &sw_stats);
+    double probes = static_cast<double>(sw_stats.total_checks) /
                     static_cast<double>(swgs_n);
     std::printf("%10lld  %14.2f  %14.2f  %14.2f  %16.2f\n",
                 static_cast<long long>(k), per_elem, logk, per_elem / logk,

@@ -1,0 +1,262 @@
+// Session-API microbenchmark: one-shot free functions vs a warm
+// parlis::Solver, plus solve_many batch throughput — the acceptance
+// harness of the span-based Solver redesign.
+//
+//   lis          — lis_ranks(a) (one-shot) vs Solver::solve_lis into reused
+//                  buffers (warm). Same algorithm; the delta is pure
+//                  construction/allocation overhead.
+//   wlis         — wlis(a, w) vs Solver::solve_wlis on a hot value
+//                  sequence: repeated queries over the same values (the
+//                  serving shape — one series, many weightings) hit the
+//                  workspace's value-sequence cache, so the warm solve
+//                  skips frontiers/value-order/tree-table recomputation and
+//                  only resets scores + re-runs the rounds. Acceptance: the
+//                  warm path is >= 20% faster at n = 1e5.
+//   wlis_newvals — the same comparison with a DIFFERENT value sequence
+//                  every call (cache misses by construction): isolates the
+//                  buffer/arena-reuse benefit alone, so the committed JSON
+//                  states both numbers honestly.
+//   solve_many   — a batch of small mixed LIS/WLIS queries: a loop of
+//                  one-shot free functions vs one warm Solver::solve_many
+//                  call (queries packed one-per-task across the pool).
+//
+// Runs are interleaved (one-shot, warm, one-shot, ...) so machine drift
+// cancels; medians are reported per query. Records carry host_hw_threads:
+// on a single-core host the per-op medians are the signal, not wall-clock
+// scaling (see EXPERIMENTS.md).
+//
+// Flags: --nlist 1000,100000,1000000, --reps, --batchq, --batchn,
+// --threads, --out FILE (BENCH_*.json records), --strict (exit 2 unless
+// warm wlis @ n=1e5 clears 20%; advisory otherwise).
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
+#include "parlis/api/solver.hpp"
+#include "parlis/lis/lis.hpp"
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/random.hpp"
+#include "parlis/wlis/wlis.hpp"
+
+namespace {
+
+using namespace parlis;
+using namespace parlis::bench;
+
+struct Measurement {
+  double oneshot_ms = 0;
+  double warm_ms = 0;
+  double speedup_pct() const { return 100.0 * (1.0 - warm_ms / oneshot_ms); }
+};
+
+// Interleaved medians: (one-shot, warm) pairs per rep so drift hits both.
+Measurement measure(int reps, const std::function<void()>& oneshot_fn,
+                    const std::function<void()>& warm_fn) {
+  std::vector<double> a_ts(reps), b_ts(reps);
+  for (int r = 0; r < reps; r++) {
+    Timer t;
+    oneshot_fn();
+    a_ts[r] = t.elapsed();
+    t.reset();
+    warm_fn();
+    b_ts[r] = t.elapsed();
+  }
+  std::sort(a_ts.begin(), a_ts.end());
+  std::sort(b_ts.begin(), b_ts.end());
+  // Lower middle for even rep counts: don't report the cold-cache run.
+  return {a_ts[(reps - 1) / 2] * 1e3, b_ts[(reps - 1) / 2] * 1e3};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::vector<int64_t> ns;
+  for (int v : parse_int_list(flags.get_str("nlist", "1000,100000,1000000"))) {
+    ns.push_back(v);
+  }
+  int reps = static_cast<int>(flags.get("reps", 7));
+  int64_t batchq = flags.get("batchq", 2048);
+  int64_t batchn = flags.get("batchn", 512);
+  if (flags.has("threads")) {
+    set_num_workers(static_cast<int>(flags.get("threads", 0)));
+  }
+  BenchJson json(flags.get_str("out", ""));
+  const int host_hw =
+      static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("micro_api: nlist=");
+  for (size_t i = 0; i < ns.size(); i++) {
+    std::printf("%s%lld", i ? "," : "", static_cast<long long>(ns[i]));
+  }
+  std::printf(", reps=%d, batch=%lldx%lld, threads=%d, host_hw_threads=%d\n\n",
+              reps, static_cast<long long>(batchq),
+              static_cast<long long>(batchn), num_workers(), host_hw);
+
+  auto emit = [&](const char* op, const char* variant, int64_t n, double ms,
+                  double speedup_pct, bool with_speedup) {
+    JsonRecord rec;
+    rec.field("bench", "micro_api")
+        .field("op", op)
+        .field("variant", variant)
+        .field("n", n)
+        .field("threads", num_workers())
+        .field("host_hw_threads", host_hw)
+        .field("median_ms", ms);
+    if (with_speedup) rec.field("speedup_pct", speedup_pct);
+    json.add(rec);
+  };
+
+  std::printf("%-12s %10s  %14s  %14s  %9s\n", "op", "n", "oneshot med(ms)",
+              "warm med(ms)", "speedup");
+  auto report = [&](const char* op, int64_t n, const Measurement& mm) {
+    std::printf("%-12s %10lld  %14.3f  %14.3f  %8.1f%%\n", op,
+                static_cast<long long>(n), mm.oneshot_ms, mm.warm_ms,
+                mm.speedup_pct());
+    emit(op, "oneshot", n, mm.oneshot_ms, 0, false);
+    emit(op, "warm", n, mm.warm_ms, mm.speedup_pct(), true);
+  };
+
+  double wlis_1e5_speedup = -1;
+  Solver solver;
+  volatile int64_t sink = 0;
+  for (int64_t n : ns) {
+    std::vector<int64_t> a(n), w(n);
+    parallel_for(0, n, [&](int64_t i) {
+      a[i] = static_cast<int64_t>(hash64(42, i) >> 1);
+      w[i] = 1 + static_cast<int64_t>(uniform(43, i, 1000));
+    });
+    int r = n >= 1000000 ? std::max(3, reps - 4) : reps;
+
+    LisResult lis_out;
+    solver.solve_lis(a, lis_out);  // warm the solver for this size
+    Measurement m_lis = measure(
+        r, [&] { sink = sink + lis_ranks(a).k; },
+        [&] {
+          solver.solve_lis(a, lis_out);
+          sink = sink + lis_out.k;
+        });
+    report("lis", n, m_lis);
+
+    WlisResult wlis_out;
+    solver.solve_wlis(a, w, wlis_out);
+    Measurement m_wlis = measure(
+        r, [&] { sink = sink + wlis(a, w).best; },
+        [&] {
+          solver.solve_wlis(a, w, wlis_out);
+          sink = sink + wlis_out.best;
+        });
+    report("wlis", n, m_wlis);
+    if (n == 100000) wlis_1e5_speedup = m_wlis.speedup_pct();
+
+    // Fresh values per call: regenerate in place between reps (outside no
+    // timer — flip through two precomputed sequences) so every warm call
+    // misses the value cache and pays the full rebuild on reused buffers.
+    std::vector<int64_t> a2(n);
+    parallel_for(0, n, [&](int64_t i) {
+      a2[i] = static_cast<int64_t>(hash64(44, i) >> 1);
+    });
+    const std::vector<int64_t>* alt[2] = {&a, &a2};
+    // The warm leg starts on a2: the preceding measurement left `a` cached
+    // in the solver, and every rep must miss the value cache.
+    int flip_oneshot = 0, flip_warm = 1;
+    Measurement m_nv = measure(
+        r,
+        [&] { sink = sink + wlis(*alt[flip_oneshot++ & 1], w).best; },
+        [&] {
+          solver.solve_wlis(*alt[flip_warm++ & 1], w, wlis_out);
+          sink = sink + wlis_out.best;
+        });
+    report("wlis_newvals", n, m_nv);
+
+    // Cross-check while everything is in scope.
+    solver.solve_wlis(a, w, wlis_out);
+    if (wlis_out.best != wlis(a, w).best || lis_out.k != lis_ranks(a).k) {
+      std::printf("MISMATCH at n=%lld\n", static_cast<long long>(n));
+      return 1;
+    }
+  }
+
+  // ------------------------------------------------------- solve_many ---
+  // batchq small queries (even: unweighted, odd: weighted) over batchn
+  // elements each, carved out of one backing array.
+  std::vector<int64_t> big_a(batchq * batchn), big_w(batchq * batchn);
+  parallel_for(0, batchq * batchn, [&](int64_t i) {
+    big_a[i] = static_cast<int64_t>(hash64(7, i) >> 1);
+    big_w[i] = 1 + static_cast<int64_t>(uniform(9, i, 1000));
+  });
+  std::vector<Query> queries(batchq);
+  for (int64_t q = 0; q < batchq; q++) {
+    queries[q].a = std::span<const int64_t>(big_a).subspan(q * batchn, batchn);
+    if (q % 2 == 1) {
+      queries[q].w =
+          std::span<const int64_t>(big_w).subspan(q * batchn, batchn);
+    }
+  }
+  std::vector<QueryResult> results(batchq);
+  solver.solve_many(queries, results);  // warm the per-worker contexts
+  int batch_reps = std::max(3, reps / 2);
+  Measurement m_batch = measure(
+      batch_reps,
+      [&] {
+        int64_t acc = 0;
+        for (int64_t q = 0; q < batchq; q++) {
+          if (queries[q].w.empty()) {
+            acc += lis_ranks(queries[q].a).k;
+          } else {
+            acc += wlis(queries[q].a, queries[q].w).best;
+          }
+        }
+        sink = sink + acc;
+      },
+      [&] {
+        solver.solve_many(queries, results);
+        sink = sink + results[0].k;
+      });
+  double loop_qps = 1e3 * static_cast<double>(batchq) / m_batch.oneshot_ms;
+  double batch_qps = 1e3 * static_cast<double>(batchq) / m_batch.warm_ms;
+  std::printf("%-12s %10lld  %14.3f  %14.3f  %8.1f%%   (%.0f -> %.0f q/s)\n",
+              "solve_many", batchq * batchn, m_batch.oneshot_ms,
+              m_batch.warm_ms, m_batch.speedup_pct(), loop_qps, batch_qps);
+  emit("solve_many", "oneshot_loop", batchq * batchn, m_batch.oneshot_ms, 0,
+       false);
+  {
+    JsonRecord rec;
+    rec.field("bench", "micro_api")
+        .field("op", "solve_many")
+        .field("variant", "batch")
+        .field("n", batchq * batchn)
+        .field("queries", batchq)
+        .field("threads", num_workers())
+        .field("host_hw_threads", host_hw)
+        .field("median_ms", m_batch.warm_ms)
+        .field("queries_per_sec", batch_qps)
+        .field("speedup_pct", m_batch.speedup_pct());
+    json.add(rec);
+  }
+
+  // Batch results must agree with the one-shot loop.
+  bool ok = true;
+  for (int64_t q = 0; q < std::min<int64_t>(batchq, 64); q++) {
+    if (queries[q].w.empty()) {
+      ok = ok && results[q].k == lis_ranks(queries[q].a).k;
+    } else {
+      ok = ok && results[q].best == wlis(queries[q].a, queries[q].w).best;
+    }
+  }
+  std::printf("\ncross-check (warm and one-shot agree): %s\n",
+              ok ? "OK" : "MISMATCH");
+  bool pass = wlis_1e5_speedup < 0 || wlis_1e5_speedup >= 20.0;
+  if (wlis_1e5_speedup >= 0) {
+    std::printf("acceptance (warm wlis >= 20%% @ n=1e5): %s (%.1f%%)%s\n",
+                pass ? "PASS" : "FAIL", wlis_1e5_speedup,
+                flags.has("strict") ? "" : " (advisory; --strict gates exit)");
+  }
+  if (!ok) return 1;
+  return flags.has("strict") && !pass ? 2 : 0;
+}

@@ -1,22 +1,29 @@
-// Quickstart: the one-page tour of the public API — parallel LIS ranks,
-// LIS length, reconstructing an actual LIS, weighted LIS, and the parallel
-// vEB tree as an ordered integer set.
+// Quickstart: the one-page tour of the public API — a parlis::Solver
+// session computing LIS ranks, reconstructing an actual LIS, weighted LIS,
+// batched serving with solve_many, and the parallel vEB tree as an ordered
+// integer set.
 //
 //   ./examples/quickstart
 #include <cstdio>
 
+#include "parlis/api/solver.hpp"
 #include "parlis/lis/lis.hpp"
 #include "parlis/parallel/scheduler.hpp"
 #include "parlis/veb/veb_tree.hpp"
-#include "parlis/wlis/wlis.hpp"
 
 int main() {
   std::printf("parlis quickstart (%d worker threads)\n\n", parlis::num_workers());
 
+  // One Solver owns all scratch state (tournament storage, frontier spans,
+  // range-structure arenas): repeated solves through it allocate nothing
+  // once warm. One solver per thread; each solve parallelizes internally.
+  parlis::Solver solver;
+
   // --- Longest increasing subsequence (Alg. 1) --------------------------
   // The running example from the paper (Fig. 2/3).
   std::vector<int64_t> a = {52, 31, 45, 26, 61, 10, 39, 44};
-  parlis::LisResult lis = parlis::lis_ranks(a);
+  parlis::LisResult lis;
+  solver.solve_lis(a, lis);
   std::printf("input:");
   for (int64_t x : a) std::printf(" %3lld", static_cast<long long>(x));
   std::printf("\nranks:");
@@ -34,12 +41,27 @@ int main() {
 
   // --- Weighted LIS (Alg. 2) --------------------------------------------
   std::vector<int64_t> w = {1, 5, 2, 4, 1, 9, 2, 3};
-  parlis::WlisResult wl =
-      parlis::wlis(a, w, parlis::WlisStructure::kRangeTree);
+  parlis::WlisResult wl;
+  solver.solve_wlis(a, w, wl);
   std::printf("weighted dp:");
   for (int64_t d : wl.dp) std::printf(" %lld", static_cast<long long>(d));
   std::printf("\nbest weighted increasing subsequence sum = %lld\n\n",
               static_cast<long long>(wl.best));
+
+  // --- Batched serving (solve_many) --------------------------------------
+  // Independent queries fan out across the worker pool: small ones are
+  // packed one per task, large ones parallelize internally.
+  std::vector<int64_t> b = {3, 1, 4, 1, 5, 9, 2, 6};
+  parlis::Query queries[3];
+  queries[0].a = a;           // unweighted LIS of a
+  queries[1].a = b;           // unweighted LIS of b
+  queries[2].a = a;
+  queries[2].w = w;           // weighted LIS of (a, w)
+  parlis::QueryResult results[3];
+  solver.solve_many(queries, results);
+  std::printf("solve_many: k(a)=%d  k(b)=%d  best(a,w)=%lld\n\n",
+              results[0].k, results[1].k,
+              static_cast<long long>(results[2].best));
 
   // --- Parallel vEB tree (Thm. 1.3) --------------------------------------
   parlis::VebTree set(256);

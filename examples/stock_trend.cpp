@@ -8,10 +8,10 @@
 #include <cstdlib>
 #include <vector>
 
+#include "parlis/api/solver.hpp"
 #include "parlis/lis/lis.hpp"
 #include "parlis/parallel/random.hpp"
 #include "parlis/util/timer.hpp"
-#include "parlis/wlis/wlis.hpp"
 
 int main(int argc, char** argv) {
   int64_t days = argc > 1 ? std::atoll(argv[1]) : 2000000;
@@ -27,9 +27,12 @@ int main(int argc, char** argv) {
   std::printf("stock trend: %lld days, final price %.2f\n",
               static_cast<long long>(days), price.back() / 100.0);
 
+  // One Solver session drives every analysis below.
+  parlis::Solver solver;
+
   // Whole-history trend strength: LIS length / n (1.0 = monotone rally).
   parlis::Timer t1;
-  int64_t k = parlis::lis_length(price);
+  int64_t k = solver.lis_length(price);
   std::printf("LIS length %lld (trend strength %.4f) in %.3f s\n",
               static_cast<long long>(k),
               static_cast<double>(k) / static_cast<double>(days),
@@ -49,12 +52,24 @@ int main(int argc, char** argv) {
   std::vector<int64_t> wp(price.end() - window, price.end());
   std::vector<int64_t> wv(volume.end() - window, volume.end());
   parlis::Timer t2;
-  parlis::WlisResult heavy =
-      parlis::wlis(wp, wv, parlis::WlisStructure::kRangeTree);
+  parlis::WlisResult heavy;
+  solver.solve_wlis(wp, wv, heavy);
   std::printf(
       "max-volume increasing run over last %lld days: volume %lld "
       "(%.3f s)\n",
       static_cast<long long>(window), static_cast<long long>(heavy.best),
       t2.elapsed());
+
+  // Re-weighting the same window (recency-weighted volume) hits the
+  // solver's value-sequence cache: only the score rounds re-run.
+  std::vector<int64_t> recency(wv);
+  for (int64_t i = 0; i < window; i++) {
+    recency[i] = wv[i] * (1 + i / std::max<int64_t>(1, window / 4));
+  }
+  parlis::Timer t3;
+  solver.solve_wlis(wp, recency, heavy);
+  std::printf(
+      "recency-weighted run over the same window: score %lld (%.3f s, warm)\n",
+      static_cast<long long>(heavy.best), t3.elapsed());
   return 0;
 }

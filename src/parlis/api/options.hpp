@@ -1,0 +1,35 @@
+// Unified per-solver configuration: one struct carries every knob the
+// Solver entry points consult, replacing the per-function parameter
+// sprawl the one-shot API grew (structure enums here, seeds there, worker
+// counts via a global).
+#pragma once
+
+#include <cstdint>
+
+#include "parlis/parallel/parallel.hpp"  // kPoolGateGrain
+#include "parlis/wlis/wlis.hpp"          // WlisStructure
+
+namespace parlis {
+
+struct Options {
+  /// Dominant-max backend for the weighted solves (Sec. 4.1 vs 4.2). The
+  /// range tree is the practical default and the only backend with the
+  /// allocation-free warm steady state.
+  WlisStructure structure = WlisStructure::kRangeTree;
+
+  /// Requested worker-pool size. Best effort: the pool size is fixed at
+  /// first use, so this takes effect only when the Solver is constructed
+  /// before any parallel call (same contract as set_num_workers). 0 keeps
+  /// the current / default pool.
+  int num_workers = 0;
+
+  /// Inputs of at most this many elements solve sequentially on the calling
+  /// thread (no fork-join overhead), and solve_many packs queries up to this
+  /// size across the pool one-per-task instead of parallelizing inside them.
+  int64_t sequential_cutoff = kPoolGateGrain;
+
+  /// Seed for the SWGS wake-up scheme's certificate sampling.
+  uint64_t seed = 42;
+};
+
+}  // namespace parlis

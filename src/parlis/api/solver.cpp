@@ -1,0 +1,166 @@
+#include "parlis/api/solver.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/scheduler.hpp"
+
+namespace parlis {
+
+// Everything one thread needs to solve any query shape end to end.
+struct Solver::ThreadCtx {
+  TournamentStorage<int64_t> tour;
+  WlisWorkspace wlis;
+  LisResult lis_res;
+  WlisResult wlis_res;
+};
+
+// A claimable context: `busy` is taken for the duration of one packed
+// query (acquire on claim, release on return, so workspace state synchronizes
+// between successive holders).
+struct Solver::CtxSlot {
+  std::atomic<bool> busy{false};
+  std::unique_ptr<ThreadCtx> ctx;
+};
+
+Solver::Solver(const Options& opts)
+    : opts_(opts), main_ctx_(std::make_unique<ThreadCtx>()) {
+  if (opts_.num_workers > 0) {
+    set_num_workers(opts_.num_workers);  // best effort: no-op once pool is up
+  }
+}
+
+Solver::~Solver() = default;
+Solver::Solver(Solver&&) noexcept = default;
+Solver& Solver::operator=(Solver&&) noexcept = default;
+
+TournamentStorage<int64_t>& Solver::main_tournament() {
+  return main_ctx_->tour;
+}
+
+void Solver::solve_lis(std::span<const int64_t> a, LisResult& out) {
+  ThreadSequentialGuard guard(below_cutoff(a.size()));
+  lis_ranks_into<int64_t>(a, out, main_ctx_->tour);
+}
+
+void Solver::solve_lis_frontiers(std::span<const int64_t> a,
+                                 LisFrontiers& out) {
+  ThreadSequentialGuard guard(below_cutoff(a.size()));
+  lis_frontiers_into<int64_t>(a, out, main_ctx_->tour);
+}
+
+int64_t Solver::lis_length(std::span<const int64_t> a) {
+  solve_lis(a, main_ctx_->lis_res);
+  return main_ctx_->lis_res.k;
+}
+
+void Solver::solve_wlis(std::span<const int64_t> a,
+                        std::span<const int64_t> w, WlisResult& out) {
+  ThreadSequentialGuard guard(below_cutoff(a.size()));
+  wlis_into(a, w, main_ctx_->wlis, out, opts_.structure);
+}
+
+void Solver::solve_swgs(std::span<const int64_t> a, LisResult& out,
+                        SwgsStats* stats) {
+  ThreadSequentialGuard guard(below_cutoff(a.size()));
+  swgs_lis_ranks_into(a, opts_.seed, out, stats);
+}
+
+void Solver::solve_swgs_wlis(std::span<const int64_t> a,
+                             std::span<const int64_t> w, WlisResult& out,
+                             SwgsStats* stats) {
+  ThreadSequentialGuard guard(below_cutoff(a.size()));
+  swgs_wlis_into(a, w, opts_.seed, main_ctx_->wlis, out, stats);
+}
+
+void Solver::solve_query(const Query& q, QueryResult& r, ThreadCtx& ctx) {
+  const int64_t n = static_cast<int64_t>(q.a.size());
+  if (q.w.empty()) {
+    lis_ranks_into<int64_t>(q.a, ctx.lis_res, ctx.tour);
+    r.k = ctx.lis_res.k;
+    r.best = ctx.lis_res.k;
+    if (!q.rank_out.empty()) {
+      assert(static_cast<int64_t>(q.rank_out.size()) >= n);
+      const int32_t* src = ctx.lis_res.rank.data();
+      int32_t* dst = q.rank_out.data();
+      parallel_for(0, n, [&](int64_t i) { dst[i] = src[i]; });
+    }
+  } else {
+    assert(q.w.size() == q.a.size());
+    wlis_into(q.a, q.w, ctx.wlis, ctx.wlis_res, opts_.structure);
+    r.k = ctx.wlis_res.k;
+    r.best = ctx.wlis_res.best;
+    if (!q.dp_out.empty()) {
+      assert(static_cast<int64_t>(q.dp_out.size()) >= n);
+      const int64_t* src = ctx.wlis_res.dp.data();
+      int64_t* dst = q.dp_out.data();
+      parallel_for(0, n, [&](int64_t i) { dst[i] = src[i]; });
+    }
+  }
+}
+
+void Solver::solve_many(std::span<const Query> queries,
+                        std::span<QueryResult> results) {
+  assert(results.size() >= queries.size());
+  const int64_t nq = static_cast<int64_t>(queries.size());
+  // Large queries first, one at a time with intra-query parallelism: they
+  // saturate the pool on their own, and finishing them before the packed
+  // phase keeps the tail of the batch load-balanced.
+  small_idx_.clear();
+  for (int64_t i = 0; i < nq; i++) {
+    if (static_cast<int64_t>(queries[i].a.size()) > opts_.sequential_cutoff) {
+      solve_query(queries[i], results[i], *main_ctx_);
+    } else {
+      small_idx_.push_back(i);
+    }
+  }
+  if (small_idx_.empty()) return;
+  // Small queries: one task per query across the pool, each solved
+  // sequentially (thread-sequential mode) on a claimed per-runner context.
+  // A runner probes from its preferred slot (pool_thread_id() + 1: the
+  // external caller prefers slot 0, pool workers their own slot — warm in
+  // the steady state) to the first free one. The busy flag is load-bearing:
+  // besides the caller and the pool workers, any OTHER external thread
+  // joining its own parallel work can steal packed tasks from the shared
+  // submission queue, and all external threads report pool_thread_id() ==
+  // -1 — without the claim they would race on one context. If every slot
+  // is somehow held (more simultaneous runners than the pool has workers),
+  // the query solves on a throwaway context rather than blocking.
+  if (ctx_n_ == 0) {
+    ctx_n_ = static_cast<size_t>(num_workers()) + 1;
+    ctx_ = std::make_unique<CtxSlot[]>(ctx_n_);
+  }
+  parallel_for(
+      0, static_cast<int64_t>(small_idx_.size()),
+      [&](int64_t t) {
+        CtxSlot* held = nullptr;
+        const size_t start = static_cast<size_t>(pool_thread_id() + 1);
+        for (size_t k = 0; k < ctx_n_; k++) {
+          CtxSlot& s = ctx_[(start + k) % ctx_n_];
+          if (!s.busy.exchange(true, std::memory_order_acquire)) {
+            held = &s;
+            break;
+          }
+        }
+        std::unique_ptr<ThreadCtx> overflow;
+        ThreadCtx* ctx;
+        if (held != nullptr) {
+          if (!held->ctx) held->ctx = std::make_unique<ThreadCtx>();
+          ctx = held->ctx.get();
+        } else {
+          overflow = std::make_unique<ThreadCtx>();
+          ctx = overflow.get();
+        }
+        {
+          ThreadSequentialGuard seq(true);
+          solve_query(queries[small_idx_[t]], results[small_idx_[t]], *ctx);
+        }
+        if (held != nullptr) {
+          held->busy.store(false, std::memory_order_release);
+        }
+      },
+      /*grain=*/1);
+}
+
+}  // namespace parlis

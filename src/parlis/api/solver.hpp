@@ -1,0 +1,157 @@
+// parlis::Solver — the session-style public API.
+//
+// The free functions (lis_ranks, wlis, swgs_*) are one-shot: every call
+// rebuilds the tournament tree, reallocates frontier buffers and result
+// vectors, and re-carves the range-structure arenas. A Solver instead owns
+// all of that scratch — tournament storage, flat frontier spans, value-order
+// arrays, the range tree's arena, per-worker slots for batched serving —
+// and writes results into caller-reusable output structs, so in the
+// amortized-serving steady state (many queries through one session)
+// repeated same-size solves allocate nothing.
+//
+// Thread-safety: one Solver per thread. The solve_* methods parallelize
+// *internally* (they drive the shared worker pool), but two threads must
+// not call into the same Solver concurrently. solve_many is the batched
+// entry point: it fans independent queries out across the pool itself —
+// small queries are packed one-per-task and solved sequentially in place
+// (per-worker workspaces, no nested fork-join), large queries run with
+// intra-query parallelism — which is the serving shape for high query
+// traffic.
+//
+// Buffer-reuse semantics: output structs (LisResult, WlisResult, ...) are
+// plain vectors-of-results; pass the same instance back in and its capacity
+// is reused. Results are valid until the output struct is reused; the
+// Solver keeps no pointers into them.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "parlis/api/options.hpp"
+#include "parlis/lis/lis.hpp"
+#include "parlis/lis/tournament_tree.hpp"
+#include "parlis/swgs/swgs.hpp"
+#include "parlis/wlis/wlis.hpp"
+#include "parlis/wlis/wlis_workspace.hpp"
+
+namespace parlis {
+
+/// One independent query for Solver::solve_many. `w` empty means unweighted
+/// LIS; otherwise |w| == |a| and the query is weighted LIS. The optional
+/// output spans receive per-element results when non-empty (sized >= |a|);
+/// summary results always land in the QueryResult.
+struct Query {
+  std::span<const int64_t> a;
+  std::span<const int64_t> w{};
+  std::span<int32_t> rank_out{};  // unweighted: rank[i] = LIS ending at i
+  std::span<int64_t> dp_out{};    // weighted: dp[i] per Eq. (2)
+};
+
+struct QueryResult {
+  int32_t k = 0;     // LIS length (rounds)
+  int64_t best = 0;  // weighted: max dp; unweighted: k
+};
+
+class Solver {
+ public:
+  explicit Solver(const Options& opts = {});
+  ~Solver();
+  Solver(Solver&&) noexcept;
+  Solver& operator=(Solver&&) noexcept;
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  const Options& options() const { return opts_; }
+
+  /// Unweighted LIS ranks (Alg. 1) of `a` into `out`.
+  void solve_lis(std::span<const int64_t> a, LisResult& out);
+
+  /// Custom-order form: "increasing" means strictly increasing under
+  /// `less`; `inf` must compare greater than every input under `less`
+  /// (e.g. inf = INT64_MIN with std::greater for longest decreasing runs).
+  template <typename Less>
+  void solve_lis(std::span<const int64_t> a, LisResult& out, int64_t inf,
+                 Less less) {
+    ThreadSequentialGuard guard(below_cutoff(a.size()));
+    lis_ranks_into<int64_t, Less>(a, out, main_tournament(), inf, less);
+  }
+
+  /// Ranks plus the per-round frontiers (what WLIS and the reconstruction
+  /// consume).
+  void solve_lis_frontiers(std::span<const int64_t> a, LisFrontiers& out);
+
+  /// LIS length only.
+  int64_t lis_length(std::span<const int64_t> a);
+
+  /// Weighted LIS (Alg. 2) with the Options-selected range structure.
+  void solve_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
+                  WlisResult& out);
+
+  /// SWGS baseline, unweighted (seed from Options).
+  void solve_swgs(std::span<const int64_t> a, LisResult& out,
+                  SwgsStats* stats = nullptr);
+
+  /// SWGS baseline, weighted.
+  void solve_swgs_wlis(std::span<const int64_t> a,
+                       std::span<const int64_t> w, WlisResult& out,
+                       SwgsStats* stats = nullptr);
+
+  /// Batched serving: solves queries[i] into results[i] for every i.
+  /// Queries are independent; |results| >= |queries|. Queries with
+  /// |a| <= options().sequential_cutoff are packed across the worker pool
+  /// (one task each, solved sequentially on per-worker workspaces); larger
+  /// ones run one at a time with intra-query parallelism.
+  void solve_many(std::span<const Query> queries,
+                  std::span<QueryResult> results);
+
+ private:
+  struct ThreadCtx;
+  struct CtxSlot;
+
+  // RAII: while `active`, par_do/parallel_for on this thread run inline
+  // (restores the previous flag even if the body throws). Used both to run
+  // small inputs without fork-join overhead and to keep solve_many's
+  // packed queries sequential inside their task.
+  class ThreadSequentialGuard {
+   public:
+    explicit ThreadSequentialGuard(bool active) : active_(active) {
+      if (active_) prev_ = set_thread_sequential(true);
+    }
+    ~ThreadSequentialGuard() {
+      if (active_) set_thread_sequential(prev_);
+    }
+    ThreadSequentialGuard(const ThreadSequentialGuard&) = delete;
+    ThreadSequentialGuard& operator=(const ThreadSequentialGuard&) = delete;
+
+   private:
+    bool active_;
+    bool prev_ = false;
+  };
+
+  bool below_cutoff(size_t n) const {
+    return static_cast<int64_t>(n) <= opts_.sequential_cutoff;
+  }
+
+  void solve_query(const Query& q, QueryResult& r, ThreadCtx& ctx);
+  // The calling thread's tournament storage (main_ctx_->tour): one warm
+  // copy serves solve_lis, solve_lis_frontiers, and solve_many's large
+  // unweighted queries alike.
+  TournamentStorage<int64_t>& main_tournament();
+
+  Options opts_;
+  std::unique_ptr<ThreadCtx> main_ctx_; // caller-thread workspaces
+  // solve_many per-runner contexts, claimed through a busy flag: a runner
+  // probes from slot pool_thread_id() + 1 (so the external calling thread
+  // prefers slot 0 and pool workers their own slot) to the first free one.
+  // The flag matters because any externally-joining thread can help run
+  // packed tasks and every such thread reports pool_thread_id() == -1.
+  std::unique_ptr<CtxSlot[]> ctx_;
+  size_t ctx_n_ = 0;
+  std::vector<int64_t> small_idx_;      // batch partition scratch
+};
+
+}  // namespace parlis

@@ -4,12 +4,20 @@
 // every *prefix-min* object among the live objects; by Lemma 3.1 those are
 // exactly the objects of rank r (dp value r). Total cost O(n log k) work and
 // O(k log n) span for LIS length k.
+//
+// Two entry-point shapes per solve:
+//  * lis_ranks / lis_frontiers — one-shot free functions returning fresh
+//    result structs (allocate per call; kept as thin wrappers),
+//  * lis_ranks_into / lis_frontiers_into — span inputs, caller-injected
+//    TournamentStorage and result buffers. Repeated same-size solves reuse
+//    every buffer and allocate nothing; this is what parlis::Solver drives.
 #pragma once
 
 #include <algorithm>
 #include <utility>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "parlis/lis/tournament_tree.hpp"
@@ -36,40 +44,63 @@ struct LisFrontiers {
   std::vector<int64_t> frontier_offset;  // size k+1
 };
 
-/// Computes all dp values (Alg. 1). `inf` must exceed every input value
-/// under `less` ("increasing" means strictly increasing under `less`).
+/// Computes all dp values (Alg. 1) into `res`, reusing its buffers and the
+/// injected tournament storage. `inf` must exceed every input value under
+/// `less` ("increasing" means strictly increasing under `less`).
 template <typename T, typename Less = std::less<T>>
-LisResult lis_ranks(const std::vector<T>& a,
-                    T inf = std::numeric_limits<T>::max(),
-                    Less less = Less{}) {
-  LisResult res;
+void lis_ranks_into(std::span<const T> a, LisResult& res,
+                    TournamentStorage<T>& ws,
+                    T inf = std::numeric_limits<T>::max(), Less less = Less{}) {
   res.rank.assign(a.size(), 0);
-  if (a.empty()) return res;
-  TournamentTree<T, Less> tree(a, inf, less);
+  res.k = 0;
+  if (a.empty()) return;
+  TournamentTree<T, Less> tree(a, inf, ws, less);
   int32_t r = 0;
   while (!tree.empty()) {
     ++r;
     tree.extract_frontier([&](int64_t i) { res.rank[i] = r; });
   }
   res.k = r;
+}
+
+/// One-shot form of lis_ranks_into.
+template <typename T, typename Less = std::less<T>>
+LisResult lis_ranks(const std::vector<T>& a,
+                    T inf = std::numeric_limits<T>::max(),
+                    Less less = Less{}) {
+  LisResult res;
+  TournamentStorage<T> ws;
+  lis_ranks_into<T, Less>(std::span<const T>(a.data(), a.size()), res, ws, inf,
+                          less);
   return res;
 }
 
-/// Computes dp values and the per-round frontiers (two-pass extraction).
+/// Span form (vector arguments resolve to the template above).
+inline LisResult lis_ranks(std::span<const int64_t> a) {
+  LisResult res;
+  TournamentStorage<int64_t> ws;
+  lis_ranks_into<int64_t>(a, res, ws);
+  return res;
+}
+
+/// Computes dp values and the per-round frontiers (two-pass extraction)
+/// into `res`, reusing its buffers and the injected tournament storage.
 /// Every object is extracted in exactly one round, so frontier_flat is
-/// preallocated at size n and each round writes its frontier directly into
-/// the next flat region — no per-round vector, no copying.
+/// sized n once and each round writes its frontier directly into the next
+/// flat region — no per-round vector, no copying.
 template <typename T, typename Less = std::less<T>>
-LisFrontiers lis_frontiers(const std::vector<T>& a,
-                           T inf = std::numeric_limits<T>::max(),
-                           Less less = Less{}) {
-  LisFrontiers res;
+void lis_frontiers_into(std::span<const T> a, LisFrontiers& res,
+                        TournamentStorage<T>& ws,
+                        T inf = std::numeric_limits<T>::max(),
+                        Less less = Less{}) {
   const int64_t n = static_cast<int64_t>(a.size());
   res.rank.assign(a.size(), 0);
+  res.k = 0;
+  res.frontier_offset.clear();
   res.frontier_offset.push_back(0);
-  if (a.empty()) return res;
-  TournamentTree<T, Less> tree(a, inf, less);
   res.frontier_flat.resize(n);
+  if (a.empty()) return;
+  TournamentTree<T, Less> tree(a, inf, ws, less);
   int32_t r = 0;
   int64_t off = 0;
   while (!tree.empty()) {
@@ -82,6 +113,17 @@ LisFrontiers lis_frontiers(const std::vector<T>& a,
     res.frontier_offset.push_back(off);
   }
   res.k = r;
+}
+
+/// One-shot form of lis_frontiers_into.
+template <typename T, typename Less = std::less<T>>
+LisFrontiers lis_frontiers(const std::vector<T>& a,
+                           T inf = std::numeric_limits<T>::max(),
+                           Less less = Less{}) {
+  LisFrontiers res;
+  TournamentStorage<T> ws;
+  lis_frontiers_into<T, Less>(std::span<const T>(a.data(), a.size()), res, ws,
+                              inf, less);
   return res;
 }
 

@@ -41,6 +41,11 @@
 // shared atomic RMW per node (the counter counts considered child entries,
 // the 8-ary analogue of per-node visits).
 //
+// Storage lives in a TournamentStorage<T>, either owned by the tree (the
+// one-shot free functions) or injected by the caller (the Solver warm path:
+// the vectors' capacity survives the tree object, so rebuilding a tree of
+// the same size performs zero heap allocations).
+//
 // The element type T needs operator< and a user-supplied +inf sentinel.
 #pragma once
 
@@ -49,6 +54,7 @@
 #include <functional>
 #include <cassert>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "parlis/parallel/parallel.hpp"
@@ -56,40 +62,40 @@
 
 namespace parlis {
 
+/// Reusable backing storage for a TournamentTree. Inject one into repeated
+/// constructions and the buffers are recycled (assign within capacity); the
+/// visit counter lives here too, because its lazily-created per-worker slot
+/// array must not be reallocated per solve.
+template <typename T>
+struct TournamentStorage {
+  std::vector<T> blocks;        // flat 8-ary block chunks
+  std::vector<T> top;           // implicit binary tree over block minima
+  std::vector<int64_t> count;   // two-pass extraction pass-1 scratch
+  WorkerCounter visits;
+};
+
 template <typename T, typename Less = std::less<T>>
 class TournamentTree {
  public:
   /// Builds the tree over `xs`; `inf` must compare greater than every input
   /// under `less`.
+  TournamentTree(std::span<const T> xs, T inf, Less less = Less{})
+      : TournamentTree(xs, inf, nullptr, less) {}
+
   TournamentTree(const std::vector<T>& xs, T inf, Less less = Less{})
-      : less_(less),
-        n_(static_cast<int64_t>(xs.size())),
-        nblocks_((n_ > 0 ? n_ - 1 : 0) / kBlockLeaves + 1),
-        top_leaves_(static_cast<int64_t>(
-            std::bit_ceil(static_cast<uint64_t>(nblocks_)))),
-        inf_(inf),
-        blocks_(kBlockStride * nblocks_, inf),
-        top_(2 * top_leaves_, inf) {
-    parallel_for(0, nblocks_, [&](int64_t b) {
-      T* blk = blocks_.data() + kBlockStride * b;
-      const int64_t base = b * kBlockLeaves;
-      T* leaf = blk + kLeafOff;
-      const int64_t fill = std::min(kBlockLeaves, n_ - base);
-      for (int64_t j = 0; j < fill; j++) leaf[j] = xs[base + j];
-      for (int64_t g = 0; g < 64; g++) {
-        blk[kL2Off + g] = min8(leaf + 8 * g);
-      }
-      for (int64_t s = 0; s < 8; s++) {
-        blk[s] = min8(blk + kL2Off + 8 * s);
-      }
-      top_[top_leaves_ + b] = min8(blk);
-    });
-    // Phantom top leaves (past the last physical block) keep their inf
-    // sentinel, so traversals prune them without touching block storage.
-    // Internal top nodes are built with the same parallel recursion as the
-    // blocks, preserving the O(log n) construction span of Thm. 3.1.
-    build_top(1, top_leaves_);
-  }
+      : TournamentTree(std::span<const T>(xs.data(), xs.size()), inf, nullptr,
+                       less) {}
+
+  /// Workspace-injected form: builds into `storage` (recycling its buffers)
+  /// instead of allocating. The tree references `storage` for its lifetime.
+  TournamentTree(std::span<const T> xs, T inf, TournamentStorage<T>& storage,
+                 Less less = Less{})
+      : TournamentTree(xs, inf, &storage, less) {}
+
+  // The tree caches raw pointers into its storage; nothing in the codebase
+  // moves one, so simply forbid it.
+  TournamentTree(const TournamentTree&) = delete;
+  TournamentTree& operator=(const TournamentTree&) = delete;
 
   /// True when every leaf has been removed.
   bool empty() const { return !less_(top_[1], inf_); }
@@ -99,10 +105,12 @@ class TournamentTree {
 
   int64_t size() const { return n_; }
 
-  /// Total tree entries considered by all extractions so far (Thm. 3.2
-  /// charges O(m_r log(n/m_r)) per round, O(n log k) in total — the property
-  /// tests assert this bound empirically). Per-worker slots summed on read.
-  uint64_t nodes_visited() const { return visits_.read(); }
+  /// Total tree entries considered by this tree's extractions so far
+  /// (Thm. 3.2 charges O(m_r log(n/m_r)) per round, O(n log k) in total —
+  /// the property tests assert this bound empirically). Per-worker slots
+  /// summed on read; counts from earlier trees sharing the storage are
+  /// subtracted out.
+  uint64_t nodes_visited() const { return st_->visits.read() - base_visits_; }
 
   /// Alg. 1 ProcessFrontier: visits every prefix-min leaf, calls
   /// visit(leaf_index) for each, and removes them. Blocks are visited in
@@ -141,7 +149,42 @@ class TournamentTree {
   static constexpr int64_t kLeafOff = 8 + 64;  // 512 leaves
   static constexpr int64_t kBlockStride = kLeafOff + kBlockLeaves;
 
-  T* block(int64_t b) { return blocks_.data() + kBlockStride * b; }
+  TournamentTree(std::span<const T> xs, T inf, TournamentStorage<T>* storage,
+                 Less less)
+      : less_(less),
+        n_(static_cast<int64_t>(xs.size())),
+        nblocks_((n_ > 0 ? n_ - 1 : 0) / kBlockLeaves + 1),
+        top_leaves_(static_cast<int64_t>(
+            std::bit_ceil(static_cast<uint64_t>(nblocks_)))),
+        inf_(inf),
+        st_(storage != nullptr ? storage : &own_) {
+    st_->blocks.assign(kBlockStride * nblocks_, inf);
+    st_->top.assign(2 * top_leaves_, inf);
+    blocks_ = st_->blocks.data();
+    top_ = st_->top.data();
+    base_visits_ = st_->visits.read();
+    parallel_for(0, nblocks_, [&](int64_t b) {
+      T* blk = blocks_ + kBlockStride * b;
+      const int64_t base = b * kBlockLeaves;
+      T* leaf = blk + kLeafOff;
+      const int64_t fill = std::min(kBlockLeaves, n_ - base);
+      for (int64_t j = 0; j < fill; j++) leaf[j] = xs[base + j];
+      for (int64_t g = 0; g < 64; g++) {
+        blk[kL2Off + g] = min8(leaf + 8 * g);
+      }
+      for (int64_t s = 0; s < 8; s++) {
+        blk[s] = min8(blk + kL2Off + 8 * s);
+      }
+      top_[top_leaves_ + b] = min8(blk);
+    });
+    // Phantom top leaves (past the last physical block) keep their inf
+    // sentinel, so traversals prune them without touching block storage.
+    // Internal top nodes are built with the same parallel recursion as the
+    // blocks, preserving the O(log n) construction span of Thm. 3.1.
+    build_top(1, top_leaves_);
+  }
+
+  T* block(int64_t b) { return blocks_ + kBlockStride * b; }
 
   T min8(const T* p) const {
     T m = p[0];
@@ -171,10 +214,13 @@ class TournamentTree {
     top_[i] = less_(top_[2 * i + 1], top_[2 * i]) ? top_[2 * i + 1] : top_[2 * i];
   }
 
-  // Lazily allocates the (persistent, top-tree-sized) pass-1 scratch and
-  // runs the counting pass; returns the frontier size.
+  // (Re)sizes the (persistent, top-tree-sized) pass-1 scratch in the
+  // storage and runs the counting pass; returns the frontier size.
   int64_t count_frontier() {
-    if (count_.empty()) count_.assign(2 * top_leaves_, 0);
+    if (static_cast<int64_t>(st_->count.size()) != 2 * top_leaves_) {
+      st_->count.assign(2 * top_leaves_, 0);
+    }
+    count_ = st_->count.data();
     return top_count(1, inf_);
   }
 
@@ -189,18 +235,18 @@ class TournamentTree {
   template <typename Visit>
   void top_extract(int64_t i, const T& lmin, const Visit& visit) {
     if (less_(lmin, top_[i]) || !less_(top_[i], inf_)) {
-      visits_.add(1);
+      st_->visits.add(1);
       return;
     }
     if (i >= top_leaves_) {
       T* blk = block(i - top_leaves_);
       uint64_t vis = 0;
       block_extract(blk, (i - top_leaves_) * kBlockLeaves, lmin, visit, vis);
-      visits_.add(vis);
+      st_->visits.add(vis);
       top_[i] = min8(blk);
       return;
     }
-    visits_.add(1);
+    st_->visits.add(1);
     T left_min = top_[2 * i];  // read before the left recursion mutates it
     par_do([&] { top_extract(2 * i, lmin, visit); },
            [&] {
@@ -212,18 +258,18 @@ class TournamentTree {
 
   int64_t top_count(int64_t i, const T& lmin) {
     if (less_(lmin, top_[i]) || !less_(top_[i], inf_)) {
-      visits_.add(1);
+      st_->visits.add(1);
       count_[i] = 0;
       return 0;
     }
     if (i >= top_leaves_) {
       uint64_t vis = 0;
       int64_t c = block_count(block(i - top_leaves_), lmin, vis);
-      visits_.add(vis);
+      st_->visits.add(vis);
       count_[i] = c;
       return c;
     }
-    visits_.add(1);
+    st_->visits.add(1);
     int64_t cl = 0, cr = 0;
     T left_min = top_[2 * i];
     par_do([&] { cl = top_count(2 * i, lmin); },
@@ -237,7 +283,7 @@ class TournamentTree {
 
   void top_place(int64_t i, const T& lmin, int64_t* out) {
     if (less_(lmin, top_[i]) || !less_(top_[i], inf_)) {
-      visits_.add(1);
+      st_->visits.add(1);
       return;
     }
     if (i >= top_leaves_) {
@@ -248,11 +294,11 @@ class TournamentTree {
       // counts below the top tree — a moving cursor replaces them.
       block_extract(blk, (i - top_leaves_) * kBlockLeaves, lmin,
                     [&](int64_t idx) { *cursor++ = idx; }, vis);
-      visits_.add(vis);
+      st_->visits.add(vis);
       top_[i] = min8(blk);
       return;
     }
-    visits_.add(1);
+    st_->visits.add(1);
     T left_min = top_[2 * i];
     // count_[2i] is 0 when pass 1 skipped the left child, so no branch needed.
     int64_t skip = count_[2 * i];
@@ -362,15 +408,16 @@ class TournamentTree {
   }
 
   Less less_;
-  WorkerCounter visits_;
   int64_t n_;
   int64_t nblocks_;     // physical blocks, ceil(n / 512)
   int64_t top_leaves_;  // bit_ceil(nblocks_): top-tree leaf slots
   T inf_;
-  std::vector<T> blocks_;  // nblocks_ flat chunks of kBlockStride entries
-  std::vector<T> top_;     // implicit binary tree over block minima
-  std::vector<int64_t> count_;  // top-tree pass-1 scratch (allocated once,
-                                // reused across rounds)
+  TournamentStorage<T> own_;   // backing store when none is injected
+  TournamentStorage<T>* st_;   // owned or injected storage
+  T* blocks_ = nullptr;        // st_->blocks.data()
+  T* top_ = nullptr;           // st_->top.data()
+  int64_t* count_ = nullptr;   // st_->count.data(), set by count_frontier
+  uint64_t base_visits_ = 0;   // visits already in the storage's counter
 };
 
 }  // namespace parlis

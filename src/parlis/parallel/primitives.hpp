@@ -178,17 +178,21 @@ void merge_into(It a, int64_t na, It b, int64_t nb, OutIt out,
 
 namespace internal {
 
-template <typename It, typename BufIt, typename Less>
+template <bool Stable, typename It, typename BufIt, typename Less>
 void sort_rec(It xs, BufIt buf, int64_t n, const Less& less, bool to_buf) {
   constexpr int64_t kBase = 8192;
   if (n <= kBase) {
-    std::stable_sort(xs, xs + n, less);
+    if constexpr (Stable) {
+      std::stable_sort(xs, xs + n, less);
+    } else {
+      std::sort(xs, xs + n, less);
+    }
     if (to_buf) std::copy(xs, xs + n, buf);
     return;
   }
   int64_t mid = n / 2;
-  par_do([&] { sort_rec(xs, buf, mid, less, !to_buf); },
-         [&] { sort_rec(xs + mid, buf + mid, n - mid, less, !to_buf); });
+  par_do([&] { sort_rec<Stable>(xs, buf, mid, less, !to_buf); },
+         [&] { sort_rec<Stable>(xs + mid, buf + mid, n - mid, less, !to_buf); });
   if (to_buf) {
     merge_into(xs, mid, xs + mid, n - mid, buf, less);
   } else {
@@ -200,11 +204,24 @@ void sort_rec(It xs, BufIt buf, int64_t n, const Less& less, bool to_buf) {
 
 /// Stable parallel merge sort of [xs, xs+n) with a caller-provided scratch
 /// buffer of the same length — for hot loops that sort every round and must
-/// not allocate (the buffer's contents are clobbered).
+/// not allocate (the buffer's contents are clobbered). Note the std::
+/// stable_sort base case may still heap-allocate its own temporary; use
+/// sort_with_buffer_total when the keys admit a total order and the loop
+/// must be allocation-free.
 template <typename T, typename Less = std::less<T>>
 void sort_with_buffer(T* xs, T* buf, int64_t n, const Less& less = Less{}) {
   if (n < 2) return;
-  internal::sort_rec(xs, buf, n, less, /*to_buf=*/false);
+  internal::sort_rec<true>(xs, buf, n, less, /*to_buf=*/false);
+}
+
+/// sort_with_buffer for keys whose order is total (no two keys compare
+/// equal, e.g. (value, index) pairs): the base case is std::sort, so the
+/// whole sort performs zero heap allocations — the variant the warm-solver
+/// steady state requires. Stability is vacuous under a total order.
+template <typename T, typename Less = std::less<T>>
+void sort_with_buffer_total(T* xs, T* buf, int64_t n, const Less& less = Less{}) {
+  if (n < 2) return;
+  internal::sort_rec<false>(xs, buf, n, less, /*to_buf=*/false);
 }
 
 /// Stable parallel merge sort (in place, with an O(n) temporary buffer).
@@ -212,8 +229,9 @@ template <typename T, typename Less = std::less<T>>
 void sort_inplace(std::vector<T>& xs, const Less& less = Less{}) {
   if (xs.size() < 2) return;
   std::vector<T> buf(xs.size());
-  internal::sort_rec(xs.begin(), buf.begin(), static_cast<int64_t>(xs.size()),
-                     less, /*to_buf=*/false);
+  internal::sort_rec<true>(xs.begin(), buf.begin(),
+                           static_cast<int64_t>(xs.size()), less,
+                           /*to_buf=*/false);
 }
 
 template <typename T, typename Less = std::less<T>>

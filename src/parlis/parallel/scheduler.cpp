@@ -344,6 +344,7 @@ int worker_id() {
 
 namespace {
 std::atomic<bool> g_sequential_mode{false};
+thread_local bool tl_sequential = false;
 }  // namespace
 
 bool set_sequential_mode(bool on) {
@@ -351,8 +352,18 @@ bool set_sequential_mode(bool on) {
 }
 
 bool sequential_mode() {
-  return g_sequential_mode.load(std::memory_order_relaxed);
+  return tl_sequential || g_sequential_mode.load(std::memory_order_relaxed);
 }
+
+bool set_thread_sequential(bool on) {
+  bool prev = tl_sequential;
+  tl_sequential = on;
+  return prev;
+}
+
+bool thread_sequential() { return tl_sequential; }
+
+int pool_thread_id() { return internal::tl_worker_id; }
 
 SchedulerStats scheduler_stats() {
   return {internal::spawn_counter().read() +

@@ -51,6 +51,20 @@ int worker_id();
 bool set_sequential_mode(bool on);
 bool sequential_mode();
 
+/// Per-thread sequential override: while set, par_do/parallel_for called on
+/// THIS thread run inline; other threads are unaffected. Save/restore the
+/// returned previous value to nest. Solver::solve_many uses it to pack many
+/// small independent queries across the pool — each query solves
+/// sequentially inside its task instead of forking nested parallelism.
+bool set_thread_sequential(bool on);
+bool thread_sequential();
+
+/// Pool-internal id of the calling thread: 0..num_workers()-1 for pool
+/// workers, -1 for threads outside the pool. Unlike worker_id(), external
+/// threads are distinguishable from worker 0 — per-thread workspace arrays
+/// index on this (+1) so an external caller never aliases a worker's slot.
+int pool_thread_id();
+
 /// Lifetime scheduler statistics: spawns = task descriptors pushed (par_do
 /// forks and parallel_for range advertisements), steals = tasks taken from
 /// another worker's deque or the external submission queue. Pool workers

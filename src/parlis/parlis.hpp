@@ -1,6 +1,8 @@
 // Umbrella header: the full public API of the parlis library.
 #pragma once
 
+#include "parlis/api/options.hpp"           // Options (per-solver knobs)
+#include "parlis/api/solver.hpp"            // Solver sessions + solve_many
 #include "parlis/parallel/parallel.hpp"     // par_do, parallel_for
 #include "parlis/parallel/primitives.hpp"   // reduce/scan/filter/merge/sort
 #include "parlis/parallel/random.hpp"       // hash64, uniform
@@ -16,8 +18,10 @@
 #include "parlis/wlis/wlis.hpp"             // weighted LIS (Alg. 2)
 #include "parlis/wlis/range_tree.hpp"       // dominant-max, Sec. 4.1
 #include "parlis/wlis/range_veb.hpp"        // dominant-max, Sec. 4.2
+#include "parlis/wlis/wlis_workspace.hpp"   // injectable WLIS scratch
 #include "parlis/wlis/seq_avl.hpp"          // Seq-AVL baseline
 #include "parlis/swgs/swgs.hpp"             // SWGS baseline
+#include "parlis/swgs/dominance_oracle.hpp" // SWGS probe structure
 #include "parlis/util/arena.hpp"            // chunked bump arena
 #include "parlis/util/generators.hpp"       // paper input generators
 #include "parlis/util/timer.hpp"

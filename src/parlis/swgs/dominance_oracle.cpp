@@ -9,8 +9,8 @@
 
 namespace parlis {
 
-DominanceOracle::DominanceOracle(const std::vector<int64_t>& a)
-    : n_(static_cast<int64_t>(a.size())), a_(a) {
+DominanceOracle::DominanceOracle(std::span<const int64_t> a)
+    : n_(static_cast<int64_t>(a.size())), a_(a.begin(), a.end()) {
   if (n_ == 0) return;
   int64_t root_width =
       static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(n_)));

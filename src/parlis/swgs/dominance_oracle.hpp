@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "parlis/util/arena.hpp"
@@ -29,7 +30,7 @@ namespace parlis {
 
 class DominanceOracle {
  public:
-  explicit DominanceOracle(const std::vector<int64_t>& a);
+  explicit DominanceOracle(std::span<const int64_t> a);
 
   // Level arrays are plain pointers into arena chunks; moves transfer the
   // chunks without relocating them.

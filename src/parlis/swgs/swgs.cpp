@@ -8,20 +8,23 @@
 #include "parlis/parallel/random.hpp"
 #include "parlis/swgs/dominance_oracle.hpp"
 #include "parlis/wlis/range_tree.hpp"
+#include "parlis/wlis/wlis_workspace.hpp"
 
 namespace parlis {
 
 namespace {
 
-// One wake-up-scheme execution; reports each round's frontier (sorted by
-// index) through on_frontier(round, indices).
+// One wake-up-scheme execution writing ranks into `rank` (resized to n) and
+// the round count into `k`; returns the probe count. Each round's frontier
+// (sorted by index) is reported through on_frontier(round, indices).
 template <typename OnFrontier>
-SwgsResult run_rounds(const std::vector<int64_t>& a, uint64_t seed,
-                      const OnFrontier& on_frontier) {
+int64_t run_rounds(std::span<const int64_t> a, uint64_t seed,
+                   std::vector<int32_t>& rank, int32_t& k,
+                   const OnFrontier& on_frontier) {
   int64_t n = static_cast<int64_t>(a.size());
-  SwgsResult res;
-  res.rank.assign(n, 0);
-  if (n == 0) return res;
+  rank.assign(n, 0);
+  k = 0;
+  if (n == 0) return 0;
   DominanceOracle oracle(a);
   // subscribers[j]: sleeping objects whose certificate is j.
   std::vector<std::vector<int32_t>> subscribers(n);
@@ -60,7 +63,7 @@ SwgsResult run_rounds(const std::vector<int64_t>& a, uint64_t seed,
     }
     // Process the frontier.
     parallel_for(0, static_cast<int64_t>(frontier.size()), [&](int64_t t) {
-      res.rank[frontier[t]] = round;
+      rank[frontier[t]] = round;
       oracle.erase(frontier[t]);
     });
     on_frontier(round, frontier);
@@ -73,55 +76,69 @@ SwgsResult run_rounds(const std::vector<int64_t>& a, uint64_t seed,
     sort_inplace(next);
     awake = std::move(next);
   }
-  res.k = round;
-  res.total_checks = total_checks;
-  return res;
+  k = round;
+  return total_checks;
 }
 
 }  // namespace
 
-SwgsResult swgs_lis_ranks(const std::vector<int64_t>& a, uint64_t seed) {
-  return run_rounds(a, seed, [](int32_t, const std::vector<int64_t>&) {});
+void swgs_lis_ranks_into(std::span<const int64_t> a, uint64_t seed,
+                         LisResult& out, SwgsStats* stats) {
+  int64_t checks = run_rounds(
+      a, seed, out.rank, out.k, [](int32_t, const std::vector<int64_t>&) {});
+  if (stats != nullptr) stats->total_checks = checks;
 }
 
-SwgsWlisResult swgs_wlis(const std::vector<int64_t>& a,
-                         const std::vector<int64_t>& w, uint64_t seed) {
+LisResult swgs_lis_ranks(std::span<const int64_t> a, uint64_t seed,
+                         SwgsStats* stats) {
+  LisResult res;
+  swgs_lis_ranks_into(a, seed, res, stats);
+  return res;
+}
+
+void swgs_wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
+                    uint64_t seed, WlisWorkspace& ws, WlisResult& out,
+                    SwgsStats* stats) {
+  assert(a.size() == w.size());
   int64_t n = static_cast<int64_t>(a.size());
-  SwgsWlisResult res;
-  res.dp.assign(n, 0);
-  if (n == 0) return res;
-  // Value-order preprocessing for the dominant-max structure.
-  std::vector<int64_t> y_by_pos(n);
-  parallel_for(0, n, [&](int64_t i) { y_by_pos[i] = i; });
-  sort_inplace(y_by_pos, [&](int64_t i, int64_t j) {
-    return a[i] != a[j] ? a[i] < a[j] : i < j;
-  });
-  std::vector<int64_t> pos(n), qpos(n);
-  parallel_for(0, n, [&](int64_t p) { pos[y_by_pos[p]] = p; });
-  for (int64_t p = 0; p < n; p++) {  // run starts (sequential: simple)
-    qpos[y_by_pos[p]] =
-        (p > 0 && a[y_by_pos[p - 1]] == a[y_by_pos[p]]) ? qpos[y_by_pos[p - 1]]
-                                                        : p;
-  }
-  RangeTreeMax rs(y_by_pos);
-  std::vector<ScoreUpdate> batch(n);  // frontiers partition [0, n): reused
-  SwgsResult rounds = run_rounds(
-      a, seed, [&](int32_t, const std::vector<int64_t>& frontier) {
+  out.dp.assign(n, 0);
+  out.best = 0;
+  out.k = 0;
+  if (stats != nullptr) stats->total_checks = 0;
+  if (n == 0) return;
+  // Same value-order preprocessing and dominant-max tree as Alg. 2. This
+  // clobbers the workspace's value-sequence cache (the tree's scores fill
+  // with SWGS dp values), so invalidate it.
+  ws.cache_valid = false;
+  ws.tree_ready = false;
+  wlis_build_value_order(a, ws);
+  ws.tree.rebuild(ws.y_by_pos);
+  ws.batch.resize(n);  // frontiers partition [0, n): reused across rounds
+  int64_t checks = run_rounds(
+      a, seed, ws.swgs_rank, out.k,
+      [&](int32_t, const std::vector<int64_t>& frontier) {
         int64_t fn = static_cast<int64_t>(frontier.size());
         parallel_for(0, fn, [&](int64_t t) {
           int64_t j = frontier[t];
-          int64_t q = rs.dominant_max(qpos[j], j);
-          res.dp[j] = w[j] + std::max<int64_t>(0, q);
+          int64_t q = ws.tree.dominant_max(ws.qpos[j], j);
+          out.dp[j] = w[j] + std::max<int64_t>(0, q);
         });
         parallel_for(0, fn, [&](int64_t t) {
-          batch[t] = {pos[frontier[t]], res.dp[frontier[t]]};
+          ws.batch[t] = {ws.pos[frontier[t]], out.dp[frontier[t]]};
         });
-        rs.update_batch(batch.data(), fn);
+        ws.tree.update_batch(ws.batch.data(), fn);
       });
-  res.k = rounds.k;
-  res.best = reduce_index<int64_t>(
-      0, n, 0, [&](int64_t i) { return res.dp[i]; },
+  if (stats != nullptr) stats->total_checks = checks;
+  out.best = reduce_index<int64_t>(
+      0, n, 0, [&](int64_t i) { return out.dp[i]; },
       [](int64_t x, int64_t y) { return std::max(x, y); });
+}
+
+WlisResult swgs_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
+                     uint64_t seed, SwgsStats* stats) {
+  WlisResult res;
+  WlisWorkspace ws;
+  swgs_wlis_into(a, w, seed, ws, res, stats);
   return res;
 }
 

@@ -13,29 +13,41 @@
 // queries on the round's frontier (we reuse the range tree of Sec. 4.1 for
 // that part, which is charitable to the baseline — the wake-up scheme
 // dominates its cost).
+//
+// The baseline returns the same LisResult / WlisResult structs as Alg. 1/2
+// — results are results, whichever algorithm produced them — and reports
+// its work diagnostics through the optional SwgsStats side channel.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <span>
+
+#include "parlis/lis/lis.hpp"
+#include "parlis/wlis/wlis.hpp"
 
 namespace parlis {
 
-struct SwgsResult {
-  std::vector<int32_t> rank;  // dp values of unweighted LIS
-  int32_t k = 0;
-  int64_t total_checks = 0;  // # readiness probes (work diagnostic)
+/// Wake-up-scheme work diagnostics (side channel; pass nullptr to skip).
+struct SwgsStats {
+  int64_t total_checks = 0;  // # readiness probes
 };
 
 /// Unweighted LIS ranks via the SWGS wake-up scheme.
-SwgsResult swgs_lis_ranks(const std::vector<int64_t>& a, uint64_t seed = 42);
+LisResult swgs_lis_ranks(std::span<const int64_t> a, uint64_t seed = 42,
+                         SwgsStats* stats = nullptr);
+
+/// Result-buffer-injected form (parlis::Solver drives this).
+void swgs_lis_ranks_into(std::span<const int64_t> a, uint64_t seed,
+                         LisResult& out, SwgsStats* stats = nullptr);
 
 /// Weighted LIS via SWGS rounds + dominant-max queries.
-struct SwgsWlisResult {
-  std::vector<int64_t> dp;
-  int64_t best = 0;
-  int32_t k = 0;
-};
-SwgsWlisResult swgs_wlis(const std::vector<int64_t>& a,
-                         const std::vector<int64_t>& w, uint64_t seed = 42);
+WlisResult swgs_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
+                     uint64_t seed = 42, SwgsStats* stats = nullptr);
+
+/// Workspace-injected form: shares the WlisWorkspace of Alg. 2 (value
+/// order, score batches, range tree).
+void swgs_wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
+                    uint64_t seed, WlisWorkspace& ws, WlisResult& out,
+                    SwgsStats* stats = nullptr);
 
 }  // namespace parlis

@@ -18,7 +18,9 @@
 // The arena never runs destructors, so every allocated type must be
 // trivially destructible (enforced by static_assert). Individual frees are
 // not supported; memory is reclaimed when the arena is destroyed or
-// move-assigned over.
+// move-assigned over — or recycled wholesale with reset(), which keeps the
+// chunks for the next build so a same-shape reconstruction (the warm
+// Solver path) touches the allocator zero times.
 #pragma once
 
 #include <cstddef>
@@ -51,7 +53,9 @@ class Arena {
       reserved_bytes_ = o.reserved_bytes_;
       slots_ = std::move(o.slots_);
       chunks_ = std::move(o.chunks_);
+      reuse_ = o.reuse_;
       o.reserved_bytes_ = 0;
+      o.reuse_ = 0;
     }
     return *this;
   }
@@ -102,25 +106,57 @@ class Arena {
     return reserved_bytes_;
   }
 
+  /// Abandons every live allocation and recycles the chunks: subsequent
+  /// allocations refill from the retained chunks (first fit by size) and
+  /// only hit the system allocator once those run out, so rebuilding a
+  /// structure of the same shape allocates nothing. The caller must
+  /// guarantee no object allocated before the reset is referenced after it
+  /// and that no allocation runs concurrently with the reset.
+  void reset() {
+    std::lock_guard<std::mutex> lk(mu_);
+    slots_.for_each([](Slot& s) { s = Slot{}; });
+    reuse_ = 0;
+  }
+
  private:
   struct alignas(64) Slot {
     uintptr_t cur = 0;
     uintptr_t end = 0;
   };
 
+  struct Chunk {
+    std::unique_ptr<std::byte[]> mem;
+    size_t size = 0;
+  };
+
+  // Takes a retained chunk of at least `need` bytes (chunks_[0, reuse_) are
+  // in use since the last reset; the rest are free), or allocates a fresh
+  // one. Returns its index, now reuse_ - 1. Caller holds mu_.
+  size_t take_chunk(size_t need) {
+    for (size_t i = reuse_; i < chunks_.size(); i++) {
+      if (chunks_[i].size >= need) {
+        std::swap(chunks_[i], chunks_[reuse_]);
+        return reuse_++;
+      }
+    }
+    chunks_.push_back(Chunk{std::unique_ptr<std::byte[]>(new std::byte[need]),
+                            need});
+    reserved_bytes_ += need;
+    std::swap(chunks_.back(), chunks_[reuse_]);
+    return reuse_++;
+  }
+
   void* alloc_slow(Slot& s, size_t bytes, size_t align) {
     std::lock_guard<std::mutex> lk(mu_);
     // Oversized request: dedicated chunk, the worker's bump region is kept.
     if (bytes + align > chunk_bytes_ / 2) {
-      chunks_.emplace_back(new std::byte[bytes + align]);
-      reserved_bytes_ += bytes + align;
-      uintptr_t p = reinterpret_cast<uintptr_t>(chunks_.back().get());
+      const Chunk& c = chunks_[take_chunk(bytes + align)];
+      uintptr_t p = reinterpret_cast<uintptr_t>(c.mem.get());
       return reinterpret_cast<void*>((p + (align - 1)) & ~uintptr_t(align - 1));
     }
-    chunks_.emplace_back(new std::byte[chunk_bytes_]);
-    reserved_bytes_ += chunk_bytes_;
-    s.cur = reinterpret_cast<uintptr_t>(chunks_.back().get());
-    s.end = s.cur + chunk_bytes_;
+    const Chunk& c = chunks_[take_chunk(chunk_bytes_)];
+    s.cur = reinterpret_cast<uintptr_t>(c.mem.get());
+    s.end = s.cur + c.size;
     uintptr_t p = (s.cur + (align - 1)) & ~uintptr_t(align - 1);
     s.cur = p + bytes;
     return reinterpret_cast<void*>(p);
@@ -130,7 +166,8 @@ class Arena {
   size_t reserved_bytes_ = 0;  // guarded by mu_
   LazyWorkerSlots<Slot> slots_;
   mutable std::mutex mu_;
-  std::vector<std::unique_ptr<std::byte[]>> chunks_;  // guarded by mu_
+  std::vector<Chunk> chunks_;  // guarded by mu_; [0, reuse_) handed out
+  size_t reuse_ = 0;
 };
 
 }  // namespace parlis

@@ -29,7 +29,7 @@
 
 #include <concepts>
 #include <cstdint>
-#include <vector>
+#include <span>
 
 namespace parlis {
 
@@ -42,7 +42,7 @@ struct ScoreUpdate {
 
 template <typename RS>
 concept RangeStructure =
-    std::constructible_from<RS, const std::vector<int64_t>&> &&
+    std::constructible_from<RS, std::span<const int64_t>> &&
     requires(RS rs, const RS crs, int64_t q, const ScoreUpdate* u, int64_t m) {
       { crs.n() } -> std::convertible_to<int64_t>;
       { crs.dominant_max(q, q) } -> std::convertible_to<int64_t>;

@@ -19,22 +19,49 @@ constexpr int64_t kLeafParentWidth = 2 * kLeafWidth;
 // Per-block exclusive count of "position falls in the left child": the
 // bridge table of one level. When there are few blocks (the top levels —
 // ultimately one block of size n), parallelism must come from inside the
-// block via the two-pass scan; with many blocks the parallel loop over
-// blocks already saturates the pool and each block scans sequentially.
+// block via a hand-rolled two-pass scan whose block sums live in the
+// caller's scratch (so warm rebuilds never allocate); with many blocks the
+// parallel loop over blocks already saturates the pool and each block
+// scans sequentially.
 void fill_bridges(int64_t n, int64_t width, const int32_t* order,
-                  int32_t* bridge) {
+                  int32_t* bridge, std::vector<int32_t>& sums) {
   int64_t nblocks = (n + width - 1) / width;
   if (nblocks <= 8) {
+    constexpr int64_t kBlock = 4096;
     for (int64_t b = 0; b < nblocks; b++) {
       int64_t lo = b * width;
       int64_t len = std::min(n, lo + width) - lo;
       int32_t mid = static_cast<int32_t>(lo + width / 2);
-      scan_exclusive_index<int32_t>(
-          len, 0, [&](int64_t i) { return order[lo + i] < mid ? 1 : 0; },
-          [&](int64_t i, int32_t pre) { bridge[lo + i] = pre; },
-          [](int32_t a, int32_t b2) {
-            return static_cast<int32_t>(a + b2);
-          });
+      int64_t nb = (len + kBlock - 1) / kBlock;
+      if (nb <= 1) {
+        int32_t cnt = 0;
+        for (int64_t i = lo; i < lo + len; i++) {
+          bridge[i] = cnt;
+          if (order[i] < mid) cnt++;
+        }
+        continue;
+      }
+      if (static_cast<int64_t>(sums.size()) < nb) sums.resize(nb);
+      parallel_for(0, nb, [&](int64_t blk) {
+        int64_t s = lo + blk * kBlock, e = std::min(lo + len, s + kBlock);
+        int32_t c = 0;
+        for (int64_t i = s; i < e; i++) c += order[i] < mid ? 1 : 0;
+        sums[blk] = c;
+      });
+      int32_t total = 0;
+      for (int64_t blk = 0; blk < nb; blk++) {
+        int32_t c = sums[blk];
+        sums[blk] = total;
+        total += c;
+      }
+      parallel_for(0, nb, [&](int64_t blk) {
+        int64_t s = lo + blk * kBlock, e = std::min(lo + len, s + kBlock);
+        int32_t cnt = sums[blk];
+        for (int64_t i = s; i < e; i++) {
+          bridge[i] = cnt;
+          if (order[i] < mid) cnt++;
+        }
+      });
     }
     return;
   }
@@ -52,8 +79,16 @@ void fill_bridges(int64_t n, int64_t width, const int32_t* order,
 
 }  // namespace
 
-RangeTreeMax::RangeTreeMax(const std::vector<int64_t>& y_by_pos)
-    : n_(static_cast<int64_t>(y_by_pos.size())) {
+void RangeTreeMax::rebuild(std::span<const int64_t> y_by_pos) {
+  n_ = static_cast<int64_t>(y_by_pos.size());
+  // Recycle the previous build wholesale: the arena keeps its chunks (the
+  // allocation sequence below is repeated from the calling thread, so a
+  // same-size rebuild refills from them exactly), and levels_ / the merge
+  // scratch shrink or grow within capacity.
+  arena_.reset();
+  levels_.clear();
+  y_ = nullptr;
+  scores_ = nullptr;
   if (n_ == 0) return;
   int32_t* y = arena_.create_array_uninit<int32_t>(n_);
   parallel_for(0, n_, [&](int64_t p) {
@@ -73,7 +108,7 @@ RangeTreeMax::RangeTreeMax(const std::vector<int64_t>& y_by_pos)
   // scans, so they carry no bridge.
   int64_t nlevels = 0;
   for (int64_t w = root_width; w >= kLeafParentWidth; w /= 2) nlevels++;
-  levels_.resize(nlevels);
+  levels_.assign(nlevels, Level{});
   for (int64_t d = 0; d < nlevels; d++) {
     Level& lev = levels_[d];
     lev.width = root_width >> d;
@@ -87,7 +122,10 @@ RangeTreeMax::RangeTreeMax(const std::vector<int64_t>& y_by_pos)
   // sorted directly; each coarser level merges adjacent blocks. The sorted
   // orders themselves are transient — only the rank scatter and the bridge
   // counts derived from them persist.
-  std::vector<int32_t> cur(n_), nxt(n_);
+  std::vector<int32_t>& cur = build_cur_;
+  std::vector<int32_t>& nxt = build_nxt_;
+  cur.resize(n_);
+  nxt.resize(n_);
   int64_t nb16 = (n_ + kLeafParentWidth - 1) / kLeafParentWidth;
   parallel_for(0, nb16, [&](int64_t b) {
     int64_t lo = b * kLeafParentWidth;
@@ -116,7 +154,7 @@ RangeTreeMax::RangeTreeMax(const std::vector<int64_t>& y_by_pos)
     }
     if (lev.width >= 2 * kLeafParentWidth) {
       int32_t* bridge = arena_.create_array_uninit<int32_t>(n_);
-      fill_bridges(n_, lev.width, order.data(), bridge);
+      fill_bridges(n_, lev.width, order.data(), bridge, scan_scratch_);
       lev.bridge = bridge;
     }
   };
@@ -138,6 +176,18 @@ RangeTreeMax::RangeTreeMax(const std::vector<int64_t>& y_by_pos)
   }
 }
 
+void RangeTreeMax::reset_scores() {
+  if (n_ == 0) return;
+  parallel_for(0, n_, [&](int64_t p) {
+    scores_[p].store(0, std::memory_order_relaxed);
+  });
+  for (size_t d = 1; d < levels_.size(); d++) {
+    std::atomic<int64_t>* f = levels_[d].fenwick;
+    parallel_for(0, n_,
+                 [&](int64_t p) { f[p].store(0, std::memory_order_relaxed); });
+  }
+}
+
 int64_t RangeTreeMax::fenwick_prefix_max(const std::atomic<int64_t>* f,
                                          int64_t count) {
   // Walk addresses are arithmetic in `count`: issue them all, then read.
@@ -153,11 +203,23 @@ int64_t RangeTreeMax::fenwick_prefix_max(const std::atomic<int64_t>* f,
 
 void RangeTreeMax::fenwick_update(std::atomic<int64_t>* f, int64_t len,
                                   int64_t idx, int64_t score) {
+  // Update-walk ranges are nested upward ((j - lowbit(j), j] contains
+  // (i - lowbit(i), i] for j = i + lowbit(i)), so slot values never
+  // decrease along the walk: the first slot already >= score ends the
+  // update. The value there was published by a score inside that slot's
+  // range — ours adds nothing above it, and a racing walk that wrote it
+  // either completes the shared upper walk (walks that meet coincide
+  // forever) or exits behind a still larger one, so every higher slot is
+  // >= score once the phase's updates join. Typical frontier points stop
+  // within a slot or two instead of walking all O(log w) levels.
   for (int64_t i = idx + 1; i <= len; i += i & (-i)) {
     std::atomic<int64_t>& slot = f[i - 1];
     int64_t cur = slot.load(std::memory_order_relaxed);
-    while (cur < score &&
-           !slot.compare_exchange_weak(cur, score, std::memory_order_relaxed)) {
+    while (true) {
+      if (cur >= score) return;
+      if (slot.compare_exchange_weak(cur, score, std::memory_order_relaxed)) {
+        break;
+      }
     }
   }
 }
@@ -315,8 +377,61 @@ void RangeTreeMax::update(int64_t pos, int64_t score) {
   }
 }
 
+void RangeTreeMax::update_group(const ScoreUpdate* u, int64_t g) {
+  constexpr int64_t kGroup = 8;
+  const size_t nlev = levels_.size();
+  // Phase A: prefetch every point's score slot and per-level rank entry —
+  // up to kGroup * nlev independent lines issued before any is consumed.
+  for (int64_t t = 0; t < g; t++) {
+    __builtin_prefetch(&scores_[u[t].pos], 1, 1);
+    for (size_t d = 1; d < nlev; d++) {
+      __builtin_prefetch(&levels_[d].rank[u[t].pos], 0, 1);
+    }
+  }
+  // Phase B: publish the scores, read the (now cached) ranks, and prefetch
+  // the first walk slot of every (point, level) pair — the early-exit walk
+  // usually ends right there.
+  int64_t ranks[kGroup][64];
+  for (int64_t t = 0; t < g; t++) {
+    std::atomic<int64_t>& slot = scores_[u[t].pos];
+    int64_t cur = slot.load(std::memory_order_relaxed);
+    while (cur < u[t].score &&
+           !slot.compare_exchange_weak(cur, u[t].score,
+                                       std::memory_order_relaxed)) {
+    }
+    for (size_t d = 1; d < nlev; d++) {
+      const Level& lev = levels_[d];
+      int64_t block = u[t].pos & ~(lev.width - 1);
+      int64_t len = std::min(block + lev.width, n_) - block;
+      int64_t idx = ranks[t][d] = lev.rank[u[t].pos];
+      const std::atomic<int64_t>* f = lev.fenwick + block;
+      for (int64_t i = idx + 1; i <= len; i += i & (-i)) {
+        __builtin_prefetch(&f[i - 1], 1, 1);
+      }
+    }
+  }
+  // Phase C: the CAS walks, against warm lines.
+  for (int64_t t = 0; t < g; t++) {
+    for (size_t d = 1; d < nlev; d++) {
+      const Level& lev = levels_[d];
+      int64_t block = u[t].pos & ~(lev.width - 1);
+      int64_t len = std::min(block + lev.width, n_) - block;
+      fenwick_update(lev.fenwick + block, len, ranks[t][d], u[t].score);
+    }
+  }
+}
+
 void RangeTreeMax::update_batch(const ScoreUpdate* updates, int64_t m) {
-  parallel_for(0, m, [&](int64_t t) { update(updates[t].pos, updates[t].score); });
+  // Grouped like the query side: points go through the levels in phased
+  // batches so their (otherwise serial) rank and Fenwick cache misses
+  // overlap — a frontier's updates are independent and fetch-max commutes,
+  // so any interleaving is correct.
+  constexpr int64_t kGroup = 8;
+  int64_t ngroups = (m + kGroup - 1) / kGroup;
+  parallel_for(0, ngroups, [&](int64_t grp) {
+    int64_t lo = grp * kGroup;
+    update_group(updates + lo, std::min(kGroup, m - lo));
+  });
 }
 
 }  // namespace parlis

@@ -41,6 +41,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "parlis/util/arena.hpp"
@@ -50,9 +51,26 @@ namespace parlis {
 
 class RangeTreeMax {
  public:
+  /// Empty tree (n() == 0); point it at a point set with rebuild().
+  RangeTreeMax() = default;
+
   /// `y_by_pos[p]` is the y-coordinate (input index) of the point at
   /// value-order position p; it must be a permutation of [0, n).
-  explicit RangeTreeMax(const std::vector<int64_t>& y_by_pos);
+  explicit RangeTreeMax(std::span<const int64_t> y_by_pos) {
+    rebuild(y_by_pos);
+  }
+
+  /// Re-targets the tree at a new point set, resetting every score to 0.
+  /// The previous build's arena chunks and merge scratch are recycled, so a
+  /// same-size rebuild — the Solver's warm steady state — performs zero
+  /// heap allocations.
+  void rebuild(std::span<const int64_t> y_by_pos);
+
+  /// Zeroes every published score (the scores array and all Fenwick slots)
+  /// while keeping the point set and the rank/bridge tables: the fast path
+  /// for re-solving over an unchanged value sequence (same y_by_pos) with
+  /// new weights. O(n log n) stores, no allocation, no merging.
+  void reset_scores();
 
   // Level arrays hold plain pointers into arena_ chunks; the arena move
   // transfers chunk ownership without relocating them.
@@ -106,12 +124,16 @@ class RangeTreeMax {
                              int64_t idx, int64_t score);
   void dominant_max_group(const int64_t* qpos, const int64_t* qy, int64_t g,
                           int64_t* out) const;
+  void update_group(const ScoreUpdate* u, int64_t g);
 
   int64_t n_ = 0;
   Arena arena_;
   const int32_t* y_ = nullptr;             // y_by_pos (leaf scans)
   std::atomic<int64_t>* scores_ = nullptr;  // score by position (leaf scans)
   std::vector<Level> levels_;               // [0] = virtual root
+  // Bottom-up merge + bridge-scan scratch, kept across rebuilds (capacity
+  // reuse).
+  std::vector<int32_t> build_cur_, build_nxt_, scan_scratch_;
 };
 
 static_assert(RangeStructure<RangeTreeMax>);

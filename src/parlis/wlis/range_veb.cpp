@@ -9,7 +9,7 @@
 
 namespace parlis {
 
-RangeVeb::RangeVeb(const std::vector<int64_t>& y_by_pos)
+RangeVeb::RangeVeb(std::span<const int64_t> y_by_pos)
     : n_(static_cast<int64_t>(y_by_pos.size())),
       arena_(std::make_unique<Arena>()) {
   if (n_ == 0) return;
@@ -107,8 +107,10 @@ void RangeVeb::update_batch(const ScoreUpdate* batch, int64_t m) {
       uint64_t blk = static_cast<uint64_t>(batch[i].pos / lev.width);
       sort_keys_[i] = (blk << 32) | static_cast<uint32_t>(i);
     });
-    sort_with_buffer(sort_keys_.data(), sort_buf_.data(), m,
-                     std::less<uint64_t>{});
+    // Packed keys carry the batch index in the low bits, so the order is
+    // total and the allocation-free std::sort base case applies.
+    sort_with_buffer_total(sort_keys_.data(), sort_buf_.data(), m,
+                           std::less<uint64_t>{});
     parallel_for(0, m, [&](int64_t i) {
       const ScoreUpdate& it = batch[sort_keys_[i] & 0xffffffffu];
       int64_t lo = (it.pos / lev.width) * lev.width;
@@ -136,8 +138,8 @@ void RangeVeb::update_batch(const ScoreUpdate* batch, int64_t m) {
   }
 }
 
-void RangeVeb::precompute_query_labels(const std::vector<int64_t>& qpos_by_y) {
-  qpos_ = qpos_by_y;
+void RangeVeb::precompute_query_labels(std::span<const int64_t> qpos_by_y) {
+  qpos_.assign(qpos_by_y.begin(), qpos_by_y.end());
   int64_t steps = static_cast<int64_t>(levels_.size()) - 1;
   labels_.assign(steps * n_, -1);
   parallel_for(0, n_, [&](int64_t j) {

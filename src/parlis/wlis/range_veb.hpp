@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "parlis/util/arena.hpp"
@@ -34,7 +35,7 @@ class RangeVeb {
  public:
   /// `y_by_pos[p]` is the y-coordinate of the point at value-order
   /// position p; it must be a permutation of [0, n).
-  explicit RangeVeb(const std::vector<int64_t>& y_by_pos);
+  explicit RangeVeb(std::span<const int64_t> y_by_pos);
 
   // The arena lives behind a stable pointer, so moves keep every inner
   // tree's pool reference valid.
@@ -67,7 +68,7 @@ class RangeVeb {
   /// this, dominant_max_point(j) answers j's WLIS query with O(1) label
   /// lookups — one Pred per canonical node, no binary searches — matching
   /// the paper's O(log n log log n) query bound.
-  void precompute_query_labels(const std::vector<int64_t>& qpos_by_y);
+  void precompute_query_labels(std::span<const int64_t> qpos_by_y);
 
   /// Dominant-max for input point j (y-coordinate j), using the tables.
   /// Requires precompute_query_labels() and that j's query is exactly

@@ -9,72 +9,98 @@
 #include "parlis/wlis/range_structure.hpp"
 #include "parlis/wlis/range_tree.hpp"
 #include "parlis/wlis/range_veb.hpp"
+#include "parlis/wlis/wlis_workspace.hpp"
 
 namespace parlis {
 
-namespace {
-
-// Value-order preprocessing shared by both RangeStructs: points sorted by
-// (value, index). pos[i] = position of object i in that order; qpos[i] =
-// number of objects with value strictly below a[i] (the x-prefix bound of
-// object i's dominant-max query, which keeps the comparison strict even
-// with duplicate values).
-struct ValueOrder {
-  std::vector<int64_t> pos;
-  std::vector<int64_t> qpos;
-  std::vector<int64_t> y_by_pos;  // inverse of pos
-};
-
-ValueOrder build_value_order(const std::vector<int64_t>& a) {
-  int64_t n = static_cast<int64_t>(a.size());
-  ValueOrder vo;
-  vo.y_by_pos.resize(n);
-  parallel_for(0, n, [&](int64_t i) { vo.y_by_pos[i] = i; });
-  sort_inplace(vo.y_by_pos, [&](int64_t i, int64_t j) {
-    return a[i] != a[j] ? a[i] < a[j] : i < j;
+// Value-order preprocessing shared by all RangeStructs. Everything is
+// written into workspace buffers: the permutation sort runs through the
+// workspace merge buffer with the total-order (allocation-free) base case,
+// and qpos — the start of each value's run in the sorted order, which keeps
+// dominant-max comparisons strict under duplicate values — is a blocked
+// two-pass scan whose per-block carries live in ws.block_carry.
+void wlis_build_value_order(std::span<const int64_t> a, WlisWorkspace& ws) {
+  const int64_t n = static_cast<int64_t>(a.size());
+  ws.y_by_pos.resize(n);
+  ws.sort_buf.resize(n);
+  ws.pos.resize(n);
+  ws.qpos.resize(n);
+  parallel_for(0, n, [&](int64_t i) { ws.y_by_pos[i] = i; });
+  sort_with_buffer_total(ws.y_by_pos.data(), ws.sort_buf.data(), n,
+                         [&](int64_t i, int64_t j) {
+                           return a[i] != a[j] ? a[i] < a[j] : i < j;
+                         });
+  parallel_for(0, n, [&](int64_t p) { ws.pos[ws.y_by_pos[p]] = p; });
+  constexpr int64_t kBlock = 4096;
+  const int64_t nblocks = (n + kBlock - 1) / kBlock;
+  ws.block_carry.resize(nblocks);
+  // Pass 1: last run start inside each block (-1 if the block opens none).
+  parallel_for(0, nblocks, [&](int64_t b) {
+    int64_t lo = b * kBlock, hi = std::min(n, lo + kBlock);
+    int64_t last = -1;
+    for (int64_t p = lo; p < hi; p++) {
+      if (p == 0 || a[ws.y_by_pos[p - 1]] != a[ws.y_by_pos[p]]) last = p;
+    }
+    ws.block_carry[b] = last;
   });
-  vo.pos.resize(n);
-  vo.qpos.resize(n);
-  parallel_for(0, n, [&](int64_t p) { vo.pos[vo.y_by_pos[p]] = p; });
-  // qpos = start of the value's run in the sorted order ("last defined" scan)
-  std::vector<int64_t> run_start(n);
-  parallel_for(0, n, [&](int64_t p) {
-    run_start[p] = (p == 0 || a[vo.y_by_pos[p - 1]] != a[vo.y_by_pos[p]])
-                       ? p
-                       : int64_t{-1};
+  // Carry the run starts across blocks (position 0 always starts a run, so
+  // every block after the first has a well-defined incoming carry).
+  int64_t carry = 0;
+  for (int64_t b = 0; b < nblocks; b++) {
+    int64_t last = ws.block_carry[b];
+    ws.block_carry[b] = carry;
+    if (last >= 0) carry = last;
+  }
+  // Pass 2: replay each block with its incoming carry.
+  parallel_for(0, nblocks, [&](int64_t b) {
+    int64_t lo = b * kBlock, hi = std::min(n, lo + kBlock);
+    int64_t run = ws.block_carry[b];
+    for (int64_t p = lo; p < hi; p++) {
+      if (p == 0 || a[ws.y_by_pos[p - 1]] != a[ws.y_by_pos[p]]) run = p;
+      ws.qpos[ws.y_by_pos[p]] = run;
+    }
   });
-  // Identity must be the transparent marker (-1), not 0: position 0 is a
-  // valid run start and an all-undefined block must not erase the carry.
-  scan_exclusive_index<int64_t>(
-      n, int64_t{-1}, [&](int64_t p) { return run_start[p]; },
-      [&](int64_t p, int64_t pre) {
-        if (run_start[p] < 0) run_start[p] = pre;
-      },
-      [](int64_t acc, int64_t v) { return v < 0 ? acc : v; });
-  parallel_for(0, n,
-               [&](int64_t p) { vo.qpos[vo.y_by_pos[p]] = run_start[p]; });
-  return vo;
 }
 
-// Thin adapters: the update side is the uniform RangeStructure batch API;
-// only the query side differs (Appendix E tables vs. generic queries).
+namespace {
+
+// Value-sequence cache hit: the cached preparation (frontiers, value
+// order, tree tables) is valid iff the values are bytewise identical.
+bool values_cached(const WlisWorkspace& ws, std::span<const int64_t> a) {
+  return ws.cache_valid && ws.cached_a.size() == a.size() &&
+         std::equal(a.begin(), a.end(), ws.cached_a.begin());
+}
+
+// Thin adapters binding a workspace to one RangeStruct flavour: the update
+// side is the uniform RangeStructure batch API; only the query side differs
+// (Appendix E tables vs. generic queries). The tree rebuilds in place
+// (allocation-free when warm) or, on a value-cache hit, only resets its
+// scores; the vEB variants are re-emplaced per solve.
 struct TreeAdapter {
-  RangeTreeMax rs;
-  explicit TreeAdapter(const ValueOrder& vo) : rs(vo.y_by_pos) {}
+  RangeTreeMax& rs;
+  TreeAdapter(WlisWorkspace& ws, bool values_reused) : rs(ws.tree) {
+    if (values_reused && ws.tree_ready) {
+      rs.reset_scores();
+    } else {
+      rs.rebuild(ws.y_by_pos);
+      ws.tree_ready = true;
+    }
+  }
 };
 
 struct VebAdapter {
-  RangeVeb rs;
-  explicit VebAdapter(const ValueOrder& vo) : rs(vo.y_by_pos) {}
+  RangeVeb& rs;
+  VebAdapter(WlisWorkspace& ws, bool)
+      : rs(ws.veb.emplace(std::span<const int64_t>(ws.y_by_pos))) {}
 };
 
 // Like VebAdapter but with the Appendix E label tables: queries for input
 // point j go through dominant_max_point(j).
 struct VebTabulatedAdapter {
-  RangeVeb rs;
-  explicit VebTabulatedAdapter(const ValueOrder& vo) : rs(vo.y_by_pos) {
-    std::vector<int64_t> qpos_by_y(vo.qpos);  // indexed by y already
-    rs.precompute_query_labels(qpos_by_y);
+  RangeVeb& rs;
+  VebTabulatedAdapter(WlisWorkspace& ws, bool)
+      : rs(ws.veb.emplace(std::span<const int64_t>(ws.y_by_pos))) {
+    rs.precompute_query_labels(ws.qpos);  // qpos is indexed by y already
   }
   int64_t dominant_max_point(int64_t j) const {
     return rs.dominant_max_point(j);
@@ -82,25 +108,32 @@ struct VebTabulatedAdapter {
 };
 
 template <typename Adapter>
-WlisResult run_wlis(const std::vector<int64_t>& a,
-                    const std::vector<int64_t>& w) {
-  WlisResult res;
+void run_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
+              WlisWorkspace& ws, WlisResult& res) {
   int64_t n = static_cast<int64_t>(a.size());
-  LisFrontiers fr = lis_frontiers(a);
-  ValueOrder vo = build_value_order(a);
-  Adapter ad(vo);
+  const bool reuse = values_cached(ws, a);
+  if (!reuse) {
+    ws.cache_valid = false;
+    ws.tree_ready = false;
+    lis_frontiers_into<int64_t>(a, ws.frontiers, ws.tournament);
+    wlis_build_value_order(a, ws);
+    ws.cached_a.assign(a.begin(), a.end());
+    ws.cache_valid = true;
+  }
+  Adapter ad(ws, reuse);
   res.dp.assign(n, 0);
-  res.k = fr.k;
+  res.k = ws.frontiers.k;
+  const LisFrontiers& fr = ws.frontiers;
   // Every object appears in exactly one frontier, so n-sized buffers serve
   // all rounds: the loop allocates nothing.
-  std::vector<ScoreUpdate> batch(n);
-  std::vector<int64_t> qpos_buf, qres;
+  ws.batch.resize(n);
+  ScoreUpdate* batch = ws.batch.data();
   constexpr bool kBatchedQueries =
       requires { ad.rs.dominant_max_batch(nullptr, nullptr, 0, nullptr); } &&
       !requires { ad.dominant_max_point(int64_t{0}); };
   if constexpr (kBatchedQueries) {
-    qpos_buf.resize(n);
-    qres.resize(n);
+    ws.qpos_buf.resize(n);
+    ws.qres.resize(n);
   }
   for (int32_t r = 1; r <= fr.k; r++) {
     const int64_t* f = fr.frontier_flat.data() + fr.frontier_offset[r - 1];
@@ -109,11 +142,11 @@ WlisResult run_wlis(const std::vector<int64_t>& a,
     // the y (= index) array of its own queries, so batched structures get
     // the whole round's queries in one level-synchronous call.
     if constexpr (kBatchedQueries) {
-      parallel_for(0, fn, [&](int64_t t) { qpos_buf[t] = vo.qpos[f[t]]; });
-      ad.rs.dominant_max_batch(qpos_buf.data(), f, fn, qres.data());
+      parallel_for(0, fn, [&](int64_t t) { ws.qpos_buf[t] = ws.qpos[f[t]]; });
+      ad.rs.dominant_max_batch(ws.qpos_buf.data(), f, fn, ws.qres.data());
       parallel_for(0, fn, [&](int64_t t) {
         int64_t j = f[t];
-        res.dp[j] = w[j] + std::max<int64_t>(0, qres[t]);
+        res.dp[j] = w[j] + std::max<int64_t>(0, ws.qres[t]);
       });
     } else {
       parallel_for(0, fn, [&](int64_t t) {
@@ -122,7 +155,7 @@ WlisResult run_wlis(const std::vector<int64_t>& a,
         if constexpr (requires { ad.dominant_max_point(j); }) {
           q = ad.dominant_max_point(j);  // Appendix E tables
         } else {
-          q = ad.rs.dominant_max(vo.qpos[j], j);
+          q = ad.rs.dominant_max(ws.qpos[j], j);
         }
         res.dp[j] = w[j] + std::max<int64_t>(0, q);
       });
@@ -130,34 +163,46 @@ WlisResult run_wlis(const std::vector<int64_t>& a,
     // Lines 17-18: publish the new scores as one batch. The frontier is
     // sorted by index (= by y), satisfying the concept's batch contract.
     parallel_for(0, fn,
-                 [&](int64_t t) { batch[t] = {vo.pos[f[t]], res.dp[f[t]]}; });
-    ad.rs.update_batch(batch.data(), fn);
+                 [&](int64_t t) { batch[t] = {ws.pos[f[t]], res.dp[f[t]]}; });
+    ad.rs.update_batch(batch, fn);
   }
   res.best = reduce_index<int64_t>(
       0, n, 0, [&](int64_t i) { return res.dp[i]; },
       [](int64_t x, int64_t y) { return std::max(x, y); });
-  return res;
 }
 
 }  // namespace
 
-WlisResult wlis(const std::vector<int64_t>& a, const std::vector<int64_t>& w,
-                WlisStructure structure) {
+void wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
+               WlisWorkspace& ws, WlisResult& out, WlisStructure structure) {
   assert(a.size() == w.size());
-  if (a.empty()) return {};
+  out.dp.clear();
+  out.best = 0;
+  out.k = 0;
+  if (a.empty()) return;
   switch (structure) {
     case WlisStructure::kRangeTree:
-      return run_wlis<TreeAdapter>(a, w);
+      run_wlis<TreeAdapter>(a, w, ws, out);
+      return;
     case WlisStructure::kRangeVeb:
-      return run_wlis<VebAdapter>(a, w);
+      run_wlis<VebAdapter>(a, w, ws, out);
+      return;
     case WlisStructure::kRangeVebTabulated:
-      return run_wlis<VebTabulatedAdapter>(a, w);
+      run_wlis<VebTabulatedAdapter>(a, w, ws, out);
+      return;
   }
-  return {};
 }
 
-std::vector<int64_t> wlis_sequence(const std::vector<int64_t>& a,
-                                   const std::vector<int64_t>& w,
+WlisResult wlis(std::span<const int64_t> a, std::span<const int64_t> w,
+                WlisStructure structure) {
+  WlisResult res;
+  WlisWorkspace ws;
+  wlis_into(a, w, ws, res, structure);
+  return res;
+}
+
+std::vector<int64_t> wlis_sequence(std::span<const int64_t> a,
+                                   std::span<const int64_t> w,
                                    const WlisResult& result) {
   const std::vector<int64_t>& dp = result.dp;
   if (dp.empty()) return {};

@@ -8,9 +8,14 @@
 // Two RangeStructs are provided, matching the paper:
 //  * kRangeTree  — Sec. 4.1, O(n log^2 n) work (the practical choice),
 //  * kRangeVeb   — Sec. 4.2, Mono-vEB inner trees (the theoretical one).
+//
+// Entry points: `wlis` is the one-shot form (fresh workspace per call);
+// `wlis_into` injects a caller-owned WlisWorkspace and result buffers so a
+// warm same-size solve allocates nothing (the path parlis::Solver drives).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace parlis {
@@ -29,16 +34,25 @@ struct WlisResult {
   int32_t k = 0;            // LIS length (number of rounds)
 };
 
+struct WlisWorkspace;  // wlis_workspace.hpp
+
 /// Weighted LIS of `a` with weights `w` (|w| == |a|).
-WlisResult wlis(const std::vector<int64_t>& a, const std::vector<int64_t>& w,
+WlisResult wlis(std::span<const int64_t> a, std::span<const int64_t> w,
                 WlisStructure structure = WlisStructure::kRangeTree);
+
+/// Workspace-injected form: scratch comes from `ws`, the result is written
+/// into `out` (buffers reused). Zero steady-state allocations on repeated
+/// same-size solves with the kRangeTree backend.
+void wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
+               WlisWorkspace& ws, WlisResult& out,
+               WlisStructure structure = WlisStructure::kRangeTree);
 
 /// Recovers the indices of one maximum-weight increasing subsequence from
 /// the dp table (ascending indices, strictly increasing values, weight sum
 /// == max dp). A single backward scan: from the argmax, repeatedly find the
 /// rightmost j < i with a[j] < a[i] and dp[j] = dp[i] - w[i]; O(n) total.
-std::vector<int64_t> wlis_sequence(const std::vector<int64_t>& a,
-                                   const std::vector<int64_t>& w,
+std::vector<int64_t> wlis_sequence(std::span<const int64_t> a,
+                                   std::span<const int64_t> w,
                                    const WlisResult& result);
 
 }  // namespace parlis

@@ -1,0 +1,71 @@
+// Reusable scratch state for Alg. 2 (and the SWGS WLIS baseline): every
+// buffer and structure a weighted-LIS solve needs, owned by the caller and
+// injected into wlis_into / swgs_wlis_into. parlis::Solver holds one per
+// session (plus one per worker for batched serving); after a warm-up solve,
+// repeated same-size solves through the same workspace perform zero heap
+// allocations — the tournament storage, frontier buffers, value-order
+// arrays, round batches, and the range tree's arena are all recycled.
+//
+// The vEB-backed structures (kRangeVeb / kRangeVebTabulated) are
+// reconstructed per solve (their inner Mono-vEB staircases allocate during
+// batch refinement by design), so only the kRangeTree backend — the
+// practical default — has the allocation-free steady state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "parlis/lis/lis.hpp"
+#include "parlis/lis/tournament_tree.hpp"
+#include "parlis/wlis/range_structure.hpp"
+#include "parlis/wlis/range_tree.hpp"
+#include "parlis/wlis/range_veb.hpp"
+
+namespace parlis {
+
+struct WlisWorkspace {
+  // Alg. 1 phase: tournament-tree storage + per-round frontiers.
+  TournamentStorage<int64_t> tournament;
+  LisFrontiers frontiers;
+
+  // Value-order preprocessing: points sorted by (value, index). pos[i] =
+  // position of object i in that order; qpos[i] = number of objects with
+  // value strictly below a[i]. block_carry holds the per-block run-start
+  // carries of the qpos scan.
+  std::vector<int64_t> y_by_pos, sort_buf, pos, qpos, block_carry;
+
+  // Round buffers: frontiers partition [0, n), so n-sized spans serve every
+  // round without clearing.
+  std::vector<ScoreUpdate> batch;
+  std::vector<int64_t> qpos_buf, qres;
+
+  // Range structures. The tree persists and is rebuilt in place; the vEB
+  // variants are re-emplaced per solve.
+  RangeTreeMax tree;
+  std::optional<RangeVeb> veb;
+
+  // SWGS: round-rank scratch for swgs_wlis_into (ranks are not part of the
+  // weighted result but drive the rounds).
+  std::vector<int32_t> swgs_rank;
+
+  // Value-sequence cache: everything above the rounds — the frontiers, the
+  // value order, and the range tree's rank/bridge tables — is a pure
+  // function of the value array `a`, while the weights only enter the
+  // per-round dp computation. A session serving repeated queries over a
+  // hot value sequence (same series, different weight models) therefore
+  // skips the whole preparation: wlis_into compares `a` against cached_a
+  // (O(n) equality check, no hashing heuristics) and on a hit re-runs only
+  // the rounds against score-reset structures. A miss rebuilds and
+  // re-primes the cache.
+  std::vector<int64_t> cached_a;
+  bool cache_valid = false;  // frontiers / value order match cached_a
+  bool tree_ready = false;   // tree's rank/bridge tables match cached_a
+};
+
+/// Fills y_by_pos / pos / qpos (and the scratch they need) for `a`.
+/// Exposed for the SWGS driver, which shares the preprocessing.
+void wlis_build_value_order(std::span<const int64_t> a, WlisWorkspace& ws);
+
+}  // namespace parlis

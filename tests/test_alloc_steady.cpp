@@ -1,0 +1,138 @@
+// Steady-state allocation regression for the warm Solver path: after
+// warm-up, repeated same-size solve_wlis / solve_lis calls through one
+// Solver must perform ZERO heap allocations (the acceptance criterion of
+// the session API). A process-wide operator-new hook counts every
+// allocation on every thread, so a stray vector resize, stable_sort
+// temporary, arena chunk, or make_unique anywhere in the hot path fails
+// the run.
+//
+// Standalone binary (no gtest): the global new/delete replacement is kept
+// out of the main test binary so the sanitizer jobs keep their own
+// allocator interposition intact there.
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "parlis/api/solver.hpp"
+#include "parlis/parallel/random.hpp"
+#include "parlis/parallel/scheduler.hpp"
+
+namespace {
+
+std::atomic<uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t sz) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(sz ? sz : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t sz, std::size_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(al, (sz + al - 1) / al * al);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t sz) { return counted_alloc(sz); }
+void* operator new[](std::size_t sz) { return counted_alloc(sz); }
+void* operator new(std::size_t sz, std::align_val_t al) {
+  return counted_alloc_aligned(sz, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t sz, std::align_val_t al) {
+  return counted_alloc_aligned(sz, static_cast<std::size_t>(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+int failures = 0;
+
+void expect_zero(const char* what, uint64_t count) {
+  if (count == 0) {
+    std::printf("OK   %-34s 0 allocations\n", what);
+  } else {
+    std::printf("FAIL %-34s %llu allocations (expected 0)\n", what,
+                static_cast<unsigned long long>(count));
+    failures++;
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace parlis;
+  if (std::getenv("PARLIS_NUM_THREADS") == nullptr) {
+    set_num_workers(4);  // exercise the parallel paths even on 1 core
+  }
+  const int64_t n = 50000;
+  std::vector<int64_t> a(n), a2(n), w(n);
+  for (int64_t i = 0; i < n; i++) {
+    a[i] = static_cast<int64_t>(hash64(7, i) >> 1);
+    a2[i] = static_cast<int64_t>(hash64(11, i) >> 1);
+    w[i] = 1 + static_cast<int64_t>(uniform(8, i, 1000));
+  }
+
+  Solver solver;  // default Options: kRangeTree backend
+  WlisResult wlis_out;
+  LisResult lis_out;
+  LisFrontiers fr_out;
+
+  // Warm-up: sizes the workspaces, the arena chunks, the per-worker slot
+  // arrays, and the result buffers.
+  for (int r = 0; r < 3; r++) {
+    solver.solve_wlis(a, w, wlis_out);
+    solver.solve_wlis(a2, w, wlis_out);
+    solver.solve_lis(a, lis_out);
+    solver.solve_lis_frontiers(a, fr_out);
+  }
+
+  // Alternating same-size inputs: every solve misses the value cache and
+  // runs the full pipeline (frontiers, value order, tree rebuild, rounds)
+  // on recycled buffers — still zero allocations.
+  uint64_t base = g_allocs.load();
+  for (int r = 0; r < 5; r++) {
+    solver.solve_wlis(r % 2 ? a2 : a, w, wlis_out);
+  }
+  expect_zero("solve_wlis full path (n=50000)", g_allocs.load() - base);
+
+  // Repeated identical values: the score-reset fast path.
+  base = g_allocs.load();
+  for (int r = 0; r < 5; r++) solver.solve_wlis(a, w, wlis_out);
+  expect_zero("solve_wlis cached values (n=50000)", g_allocs.load() - base);
+
+  base = g_allocs.load();
+  for (int r = 0; r < 5; r++) solver.solve_lis(a, lis_out);
+  expect_zero("solve_lis (n=50000)", g_allocs.load() - base);
+
+  base = g_allocs.load();
+  for (int r = 0; r < 5; r++) solver.solve_lis_frontiers(a, fr_out);
+  expect_zero("solve_lis_frontiers (n=50000)", g_allocs.load() - base);
+
+  // Sanity: the results are still right (vs a fresh one-shot call, which
+  // of course allocates — outside any measured window).
+  WlisResult ref = wlis(a, w);
+  if (wlis_out.dp != ref.dp || wlis_out.best != ref.best) {
+    std::printf("FAIL warm results diverge from one-shot reference\n");
+    failures++;
+  }
+  if (failures == 0) std::printf("alloc_steady: PASS\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -62,7 +62,7 @@ TEST(Integration, WlisPipelinesAgreeOnPaperDistributions) {
   WlisResult tree = wlis(a, w, WlisStructure::kRangeTree);
   WlisResult veb = wlis(a, w, WlisStructure::kRangeVeb);
   auto avl = seq_avl_wlis(a, w);
-  SwgsWlisResult sw = swgs_wlis(a, w);
+  WlisResult sw = swgs_wlis(a, w);
   EXPECT_EQ(tree.dp, avl);
   EXPECT_EQ(veb.dp, avl);
   EXPECT_EQ(sw.dp, avl);

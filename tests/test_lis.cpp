@@ -248,12 +248,13 @@ TEST_P(SwgsRandomized, RanksMatchOurs) {
   for (int64_t i = 0; i < n; i++) {
     a[i] = static_cast<int64_t>(uniform(seed ^ 0x5555, i, range));
   }
-  SwgsResult sw = swgs_lis_ranks(a, seed);
+  SwgsStats stats;
+  LisResult sw = swgs_lis_ranks(a, seed, &stats);
   LisResult ours = lis_ranks(a);
   EXPECT_EQ(sw.rank, ours.rank);
   EXPECT_EQ(sw.k, ours.k);
   // The wake-up scheme re-checks each object O(log n) times whp.
-  EXPECT_LE(sw.total_checks, 64 * std::max<int64_t>(n, 1));
+  EXPECT_LE(stats.total_checks, 64 * std::max<int64_t>(n, 1));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -264,10 +265,11 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Swgs, DeterministicGivenSeed) {
   auto a = range_pattern(2000, 25, 14);
-  auto r1 = swgs_lis_ranks(a, 99);
-  auto r2 = swgs_lis_ranks(a, 99);
+  SwgsStats s1, s2;
+  auto r1 = swgs_lis_ranks(a, 99, &s1);
+  auto r2 = swgs_lis_ranks(a, 99, &s2);
   EXPECT_EQ(r1.rank, r2.rank);
-  EXPECT_EQ(r1.total_checks, r2.total_checks);
+  EXPECT_EQ(s1.total_checks, s2.total_checks);
 }
 
 }  // namespace

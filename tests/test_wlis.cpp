@@ -140,7 +140,7 @@ TEST_P(WlisRandomized, AllFourImplementationsAgree) {
   WlisResult veb = wlis(a, w, WlisStructure::kRangeVeb);
   WlisResult tab = wlis(a, w, WlisStructure::kRangeVebTabulated);
   std::vector<int64_t> avl = seq_avl_wlis(a, w);
-  SwgsWlisResult sw = swgs_wlis(a, w, seed);
+  WlisResult sw = swgs_wlis(a, w, seed);
   EXPECT_EQ(tree.dp, brute);
   EXPECT_EQ(veb.dp, brute);
   EXPECT_EQ(tab.dp, brute);
