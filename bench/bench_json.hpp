@@ -10,13 +10,24 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace parlis::bench {
 
-/// One flat JSON object, built field-by-field in insertion order.
+/// One flat JSON object, built field-by-field in insertion order. Every
+/// record opens with a host_hw_threads field (std::thread::
+/// hardware_concurrency) stamped by the constructor: on a small-core or
+/// single-core host the per-op medians are the signal, not wall-clock
+/// scaling, and a committed BENCH_*.json without the host context is
+/// uninterpretable later. Emitters therefore never add the field by hand.
 class JsonRecord {
  public:
+  JsonRecord() {
+    field("host_hw_threads",
+          static_cast<int>(std::thread::hardware_concurrency()));
+  }
+
   JsonRecord& field(const char* key, int64_t v) {
     return raw(key, std::to_string(v));
   }

@@ -16,6 +16,12 @@
 //                  every call (cache misses by construction): isolates the
 //                  buffer/arena-reuse benefit alone, so the committed JSON
 //                  states both numbers honestly.
+//   wlis_double  — the generic-key pipeline: Solver::solve_wlis<double>
+//                  (rank-space compression + the shared int64 core) vs the
+//                  int64 warm path on the same cache-missing alternation.
+//                  JSON variants int64_warm / double_warm; speedup_pct on
+//                  the double row is the (usually near-zero) cost of the
+//                  typed pipeline relative to int64.
 //   solve_many   — a batch of small mixed LIS/WLIS queries: a loop of
 //                  one-shot free functions vs one warm Solver::solve_many
 //                  call (queries packed one-per-task across the pool).
@@ -106,7 +112,6 @@ int main(int argc, char** argv) {
         .field("variant", variant)
         .field("n", n)
         .field("threads", num_workers())
-        .field("host_hw_threads", host_hw)
         .field("median_ms", ms);
     if (with_speedup) rec.field("speedup_pct", speedup_pct);
     json.add(rec);
@@ -174,10 +179,57 @@ int main(int argc, char** argv) {
         });
     report("wlis_newvals", n, m_nv);
 
+    // Generic-key leg: double keys through the typed overload, against the
+    // int64 warm path on an identical cache-missing alternation. Both legs
+    // run the full pipeline per call; the delta isolates what the rank
+    // image of doubles costs over the int64 value-order sort. Keys are
+    // masked to 52 bits so the int64 -> double map is exact (53 mantissa
+    // bits): both legs solve identical orderings with identical ties, and
+    // the cross-check below can demand equal results.
+    constexpr int64_t kDoubleExact = (int64_t{1} << 52) - 1;
+    std::vector<int64_t> am1(n), am2(n);
+    std::vector<double> d1(n), d2(n);
+    parallel_for(0, n, [&](int64_t i) {
+      am1[i] = a[i] & kDoubleExact;
+      am2[i] = a2[i] & kDoubleExact;
+      d1[i] = 0.5 * static_cast<double>(am1[i]);
+      d2[i] = 0.5 * static_cast<double>(am2[i]);
+    });
+    Solver dsolver;
+    dsolver.solve_wlis(std::span<const double>(d1), w, wlis_out);
+    dsolver.solve_wlis(std::span<const double>(d2), w, wlis_out);
+    const std::vector<int64_t>* ialt[2] = {&am1, &am2};
+    const std::vector<double>* dalt[2] = {&d1, &d2};
+    int flip_i64 = 1, flip_dbl = 1;
+    Measurement m_dbl = measure(
+        r,
+        [&] {
+          solver.solve_wlis(*ialt[flip_i64++ & 1], w, wlis_out);
+          sink = sink + wlis_out.best;
+        },
+        [&] {
+          dsolver.solve_wlis(std::span<const double>(*dalt[flip_dbl++ & 1]),
+                             w, wlis_out);
+          sink = sink + wlis_out.best;
+        });
+    std::printf("%-12s %10lld  %14.3f  %14.3f  %8.1f%%\n", "wlis_double",
+                static_cast<long long>(n), m_dbl.oneshot_ms, m_dbl.warm_ms,
+                m_dbl.speedup_pct());
+    emit("wlis_double", "int64_warm", n, m_dbl.oneshot_ms, 0, false);
+    emit("wlis_double", "double_warm", n, m_dbl.warm_ms, m_dbl.speedup_pct(),
+         true);
+
     // Cross-check while everything is in scope.
     solver.solve_wlis(a, w, wlis_out);
-    if (wlis_out.best != wlis(a, w).best || lis_out.k != lis_ranks(a).k) {
+    const int64_t ref_best = wlis(a, w).best;
+    if (wlis_out.best != ref_best || lis_out.k != lis_ranks(a).k) {
       std::printf("MISMATCH at n=%lld\n", static_cast<long long>(n));
+      return 1;
+    }
+    dsolver.solve_wlis(std::span<const double>(d1), w, wlis_out);
+    if (wlis_out.best != wlis(am1, w).best) {
+      std::printf("MISMATCH (double keys) at n=%lld\n",
+                  static_cast<long long>(n));
       return 1;
     }
   }
@@ -221,8 +273,9 @@ int main(int argc, char** argv) {
   double loop_qps = 1e3 * static_cast<double>(batchq) / m_batch.oneshot_ms;
   double batch_qps = 1e3 * static_cast<double>(batchq) / m_batch.warm_ms;
   std::printf("%-12s %10lld  %14.3f  %14.3f  %8.1f%%   (%.0f -> %.0f q/s)\n",
-              "solve_many", batchq * batchn, m_batch.oneshot_ms,
-              m_batch.warm_ms, m_batch.speedup_pct(), loop_qps, batch_qps);
+              "solve_many", static_cast<long long>(batchq * batchn),
+              m_batch.oneshot_ms, m_batch.warm_ms, m_batch.speedup_pct(),
+              loop_qps, batch_qps);
   emit("solve_many", "oneshot_loop", batchq * batchn, m_batch.oneshot_ms, 0,
        false);
   {
@@ -233,7 +286,6 @@ int main(int argc, char** argv) {
         .field("n", batchq * batchn)
         .field("queries", batchq)
         .field("threads", num_workers())
-        .field("host_hw_threads", host_hw)
         .field("median_ms", m_batch.warm_ms)
         .field("queries_per_sec", batch_qps)
         .field("speedup_pct", m_batch.speedup_pct());

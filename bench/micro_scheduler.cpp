@@ -472,8 +472,7 @@ int main(int argc, char** argv) {
           .field("bench", "micro_scheduler")
           .field("op", op)
           .field("variant", variant)
-          .field("threads", r.threads)
-          .field("host_hw_threads", hw);
+          .field("threads", r.threads);
     };
     json.add(rec("spawn", "seed").field("per_spawn_ns", r.v[0]));
     json.add(rec("spawn", "current")

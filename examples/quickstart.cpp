@@ -5,6 +5,9 @@
 //
 //   ./examples/quickstart
 #include <cstdio>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "parlis/api/solver.hpp"
 #include "parlis/lis/lis.hpp"
@@ -62,6 +65,24 @@ int main() {
   std::printf("solve_many: k(a)=%d  k(b)=%d  best(a,w)=%lld\n\n",
               results[0].k, results[1].k,
               static_cast<long long>(results[2].best));
+
+  // --- Generic keys & ties policies --------------------------------------
+  // Any strictly-ordered key type solves through the same Solver: keys are
+  // reduced to rank space once, then the shared int64 core runs. The ties
+  // policy decides whether equal keys may chain.
+  std::vector<double> prices = {10.5, 10.5, 11.25, 9.75, 11.25, 12.0};
+  solver.solve_lis(std::span<const double>(prices), lis);
+  std::printf("double keys, strict:        k=%d\n", lis.k);
+  parlis::Options nondec;
+  nondec.ties = parlis::TiesPolicy::kNonDecreasing;
+  parlis::Solver nd_solver(nondec);
+  nd_solver.solve_lis(std::span<const double>(prices), lis);
+  std::printf("double keys, non-decreasing: k=%d\n", lis.k);
+  // Tuple keys under lexicographic order (e.g. (day, sequence-number)).
+  std::vector<std::pair<int64_t, int64_t>> events = {
+      {1, 7}, {1, 2}, {2, 0}, {1, 9}, {2, 4}};
+  solver.solve_lis(std::span<const std::pair<int64_t, int64_t>>(events), lis);
+  std::printf("pair keys, strict:          k=%d\n\n", lis.k);
 
   // --- Parallel vEB tree (Thm. 1.3) --------------------------------------
   parlis::VebTree set(256);

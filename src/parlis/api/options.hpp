@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "parlis/parallel/parallel.hpp"  // kPoolGateGrain
+#include "parlis/util/rank_space.hpp"    // TiesPolicy
 #include "parlis/wlis/wlis.hpp"          // WlisStructure
 
 namespace parlis {
@@ -16,6 +17,13 @@ struct Options {
   /// range tree is the practical default and the only backend with the
   /// allocation-free warm steady state.
   WlisStructure structure = WlisStructure::kRangeTree;
+
+  /// What "increasing" means for equal keys (util/rank_space.hpp):
+  /// kStrict (the paper's setting — duplicates never chain) or
+  /// kNonDecreasing (equal keys may chain, via stable (key, index)
+  /// ranking). Honored by every solve_* entry point, including solve_many
+  /// and the int64 overloads.
+  TiesPolicy ties = TiesPolicy::kStrict;
 
   /// Requested worker-pool size. Best effort: the pool size is fixed at
   /// first use, so this takes effect only when the Solver is constructed

@@ -8,10 +8,16 @@
 
 namespace parlis {
 
-// Everything one thread needs to solve any query shape end to end.
+// Everything one thread needs to solve any query shape end to end. The
+// LIS-side rank space (lis_rs) is separate from wlis.rank_space on
+// purpose: the latter's contents back the WLIS value-sequence cache, so an
+// unweighted generic-key solve between two weighted solves must not
+// clobber it.
 struct Solver::ThreadCtx {
   TournamentStorage<int64_t> tour;
   WlisWorkspace wlis;
+  RankSpace lis_rs;
+  RankSpaceScratch lis_scratch;
   LisResult lis_res;
   WlisResult wlis_res;
 };
@@ -38,14 +44,26 @@ Solver& Solver::operator=(Solver&&) noexcept = default;
 TournamentStorage<int64_t>& Solver::main_tournament() {
   return main_ctx_->tour;
 }
+WlisWorkspace& Solver::main_wlis() { return main_ctx_->wlis; }
+RankSpace& Solver::lis_rank_space() { return main_ctx_->lis_rs; }
+RankSpaceScratch& Solver::lis_rank_scratch() { return main_ctx_->lis_scratch; }
+LisResult& Solver::scratch_lis_result() { return main_ctx_->lis_res; }
 
 void Solver::solve_lis(std::span<const int64_t> a, LisResult& out) {
+  if (opts_.ties == TiesPolicy::kNonDecreasing) {
+    solve_lis<int64_t>(a, out);  // ties matter: go through rank space
+    return;
+  }
   ThreadSequentialGuard guard(below_cutoff(a.size()));
   lis_ranks_into<int64_t>(a, out, main_ctx_->tour);
 }
 
 void Solver::solve_lis_frontiers(std::span<const int64_t> a,
                                  LisFrontiers& out) {
+  if (opts_.ties == TiesPolicy::kNonDecreasing) {
+    solve_lis_frontiers<int64_t>(a, out);
+    return;
+  }
   ThreadSequentialGuard guard(below_cutoff(a.size()));
   lis_frontiers_into<int64_t>(a, out, main_ctx_->tour);
 }
@@ -57,12 +75,20 @@ int64_t Solver::lis_length(std::span<const int64_t> a) {
 
 void Solver::solve_wlis(std::span<const int64_t> a,
                         std::span<const int64_t> w, WlisResult& out) {
+  if (opts_.ties == TiesPolicy::kNonDecreasing) {
+    solve_wlis<int64_t>(a, w, out);
+    return;
+  }
   ThreadSequentialGuard guard(below_cutoff(a.size()));
   wlis_into(a, w, main_ctx_->wlis, out, opts_.structure);
 }
 
 void Solver::solve_swgs(std::span<const int64_t> a, LisResult& out,
                         SwgsStats* stats) {
+  if (opts_.ties == TiesPolicy::kNonDecreasing) {
+    solve_swgs<int64_t>(a, out, stats);
+    return;
+  }
   ThreadSequentialGuard guard(below_cutoff(a.size()));
   swgs_lis_ranks_into(a, opts_.seed, out, stats);
 }
@@ -70,14 +96,26 @@ void Solver::solve_swgs(std::span<const int64_t> a, LisResult& out,
 void Solver::solve_swgs_wlis(std::span<const int64_t> a,
                              std::span<const int64_t> w, WlisResult& out,
                              SwgsStats* stats) {
+  if (opts_.ties == TiesPolicy::kNonDecreasing) {
+    solve_swgs_wlis<int64_t>(a, w, out, stats);
+    return;
+  }
   ThreadSequentialGuard guard(below_cutoff(a.size()));
   swgs_wlis_into(a, w, opts_.seed, main_ctx_->wlis, out, stats);
 }
 
 void Solver::solve_query(const Query& q, QueryResult& r, ThreadCtx& ctx) {
   const int64_t n = static_cast<int64_t>(q.a.size());
+  const bool nondec = opts_.ties == TiesPolicy::kNonDecreasing;
   if (q.w.empty()) {
-    lis_ranks_into<int64_t>(q.a, ctx.lis_res, ctx.tour);
+    if (nondec) {
+      rank_space_into<int64_t>(q.a, TiesPolicy::kNonDecreasing, ctx.lis_rs,
+                               ctx.lis_scratch);
+      lis_ranks_into<int64_t>(std::span<const int64_t>(ctx.lis_rs.rank),
+                              ctx.lis_res, ctx.tour, n);
+    } else {
+      lis_ranks_into<int64_t>(q.a, ctx.lis_res, ctx.tour);
+    }
     r.k = ctx.lis_res.k;
     r.best = ctx.lis_res.k;
     if (!q.rank_out.empty()) {
@@ -88,7 +126,15 @@ void Solver::solve_query(const Query& q, QueryResult& r, ThreadCtx& ctx) {
     }
   } else {
     assert(q.w.size() == q.a.size());
-    wlis_into(q.a, q.w, ctx.wlis, ctx.wlis_res, opts_.structure);
+    if (nondec) {
+      rank_space_into<int64_t>(q.a, TiesPolicy::kNonDecreasing,
+                               ctx.wlis.rank_space, ctx.wlis.rank_scratch);
+      wlis_compressed_into(
+          std::span<const int64_t>(ctx.wlis.rank_space.rank), q.w, ctx.wlis,
+          ctx.wlis_res, opts_.structure);
+    } else {
+      wlis_into(q.a, q.w, ctx.wlis, ctx.wlis_res, opts_.structure);
+    }
     r.k = ctx.wlis_res.k;
     r.best = ctx.wlis_res.best;
     if (!q.dp_out.empty()) {

@@ -3,11 +3,21 @@
 // The free functions (lis_ranks, wlis, swgs_*) are one-shot: every call
 // rebuilds the tournament tree, reallocates frontier buffers and result
 // vectors, and re-carves the range-structure arenas. A Solver instead owns
-// all of that scratch — tournament storage, flat frontier spans, value-order
+// all of that scratch — tournament storage, flat frontier spans, rank-space
 // arrays, the range tree's arena, per-worker slots for batched serving —
 // and writes results into caller-reusable output structs, so in the
 // amortized-serving steady state (many queries through one session)
 // repeated same-size solves allocate nothing.
+//
+// Key types: every solve_* entry point has a typed overload — any `Key`
+// with a strict-weak-order comparator (doubles, timestamps, pairs/tuples
+// under std::less, custom comparators) is first reduced to its dense rank
+// image by the shared rank-space pass (util/rank_space.hpp) and then runs
+// the one int64 solver core; no backend is instantiated per key type. The
+// Options::ties policy picks what "increasing" means for equal keys
+// (kStrict vs kNonDecreasing) and is honored by the int64 overloads too.
+// The generic paths keep the zero-allocation warm steady state: the
+// compression workspace is part of the session scratch.
 //
 // Thread-safety: one Solver per thread. The solve_* methods parallelize
 // *internally* (they drive the shared worker pool), but two threads must
@@ -26,6 +36,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <span>
@@ -35,6 +46,7 @@
 #include "parlis/lis/lis.hpp"
 #include "parlis/lis/tournament_tree.hpp"
 #include "parlis/swgs/swgs.hpp"
+#include "parlis/util/rank_space.hpp"
 #include "parlis/wlis/wlis.hpp"
 #include "parlis/wlis/wlis_workspace.hpp"
 
@@ -67,12 +79,27 @@ class Solver {
 
   const Options& options() const { return opts_; }
 
-  /// Unweighted LIS ranks (Alg. 1) of `a` into `out`.
+  /// Unweighted LIS ranks (Alg. 1) of `a` into `out`, under options().ties.
   void solve_lis(std::span<const int64_t> a, LisResult& out);
 
-  /// Custom-order form: "increasing" means strictly increasing under
-  /// `less`; `inf` must compare greater than every input under `less`
-  /// (e.g. inf = INT64_MIN with std::greater for longest decreasing runs).
+  /// Typed overload: compresses `a` to rank space under options().ties and
+  /// `less` (a strict weak ordering), then runs the shared int64 kernel.
+  /// Works for any ordered key type — doubles, pairs, tuples, custom
+  /// comparators — with zero steady-state allocations when warm.
+  template <typename Key, typename Less = std::less<Key>>
+  void solve_lis(std::span<const Key> a, LisResult& out, Less less = Less{}) {
+    ThreadSequentialGuard guard(below_cutoff(a.size()));
+    RankSpace& rs = lis_rank_space();
+    rank_space_into<Key, Less>(a, opts_.ties, rs, lis_rank_scratch(), less);
+    lis_ranks_into<int64_t>(std::span<const int64_t>(rs.rank), out,
+                            main_tournament(),
+                            static_cast<int64_t>(a.size()));
+  }
+
+  /// Custom-order form over raw int64 values (no rank reduction):
+  /// "increasing" means strictly increasing under `less`; `inf` must
+  /// compare greater than every input under `less` (e.g. inf = INT64_MIN
+  /// with std::greater for longest decreasing runs).
   template <typename Less>
   void solve_lis(std::span<const int64_t> a, LisResult& out, int64_t inf,
                  Less less) {
@@ -81,30 +108,98 @@ class Solver {
   }
 
   /// Ranks plus the per-round frontiers (what WLIS and the reconstruction
-  /// consume).
+  /// consume), under options().ties.
   void solve_lis_frontiers(std::span<const int64_t> a, LisFrontiers& out);
+
+  /// Typed overload of solve_lis_frontiers: the frontier indices refer to
+  /// positions of `a`, so reconstruction downstream is key-type agnostic.
+  template <typename Key, typename Less = std::less<Key>>
+  void solve_lis_frontiers(std::span<const Key> a, LisFrontiers& out,
+                           Less less = Less{}) {
+    ThreadSequentialGuard guard(below_cutoff(a.size()));
+    RankSpace& rs = lis_rank_space();
+    rank_space_into<Key, Less>(a, opts_.ties, rs, lis_rank_scratch(), less);
+    lis_frontiers_into<int64_t>(std::span<const int64_t>(rs.rank), out,
+                                main_tournament(),
+                                static_cast<int64_t>(a.size()));
+  }
 
   /// LIS length only.
   int64_t lis_length(std::span<const int64_t> a);
 
-  /// Weighted LIS (Alg. 2) with the Options-selected range structure.
+  /// Typed overload of lis_length.
+  template <typename Key, typename Less = std::less<Key>>
+  int64_t lis_length(std::span<const Key> a, Less less = Less{}) {
+    LisResult& res = scratch_lis_result();
+    solve_lis<Key, Less>(a, res, less);
+    return res.k;
+  }
+
+  /// Weighted LIS (Alg. 2) with the Options-selected range structure,
+  /// under options().ties.
   void solve_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
                   WlisResult& out);
 
-  /// SWGS baseline, unweighted (seed from Options).
+  /// Typed overload: keys are compressed once (shared rank-space pass) and
+  /// the rank image feeds the LIS phase, the range structure, and the
+  /// query positions alike; weights stay int64. dp/best semantics are
+  /// unchanged — dp[i] is over subsequences "increasing" per options().ties
+  /// under `less`.
+  template <typename Key, typename Less = std::less<Key>>
+  void solve_wlis(std::span<const Key> a, std::span<const int64_t> w,
+                  WlisResult& out, Less less = Less{}) {
+    assert(a.size() == w.size());
+    ThreadSequentialGuard guard(below_cutoff(a.size()));
+    WlisWorkspace& ws = main_wlis();
+    rank_space_into<Key, Less>(a, opts_.ties, ws.rank_space, ws.rank_scratch,
+                               less);
+    wlis_compressed_into(std::span<const int64_t>(ws.rank_space.rank), w, ws,
+                         out, opts_.structure);
+  }
+
+  /// SWGS baseline, unweighted (seed from Options), under options().ties.
   void solve_swgs(std::span<const int64_t> a, LisResult& out,
                   SwgsStats* stats = nullptr);
 
-  /// SWGS baseline, weighted.
+  /// Typed overload of the SWGS baseline: the dominance oracle is
+  /// comparison-based, so it consumes the rank image directly.
+  template <typename Key, typename Less = std::less<Key>>
+  void solve_swgs(std::span<const Key> a, LisResult& out,
+                  SwgsStats* stats = nullptr, Less less = Less{}) {
+    ThreadSequentialGuard guard(below_cutoff(a.size()));
+    RankSpace& rs = lis_rank_space();
+    rank_space_into<Key, Less>(a, opts_.ties, rs, lis_rank_scratch(), less);
+    swgs_lis_ranks_into(std::span<const int64_t>(rs.rank), opts_.seed, out,
+                        stats);
+  }
+
+  /// SWGS baseline, weighted, under options().ties.
   void solve_swgs_wlis(std::span<const int64_t> a,
                        std::span<const int64_t> w, WlisResult& out,
                        SwgsStats* stats = nullptr);
+
+  /// Typed overload of the weighted SWGS baseline: one compression into
+  /// the WLIS workspace's rank space, consumed by the oracle rounds and
+  /// the dominant-max tree alike.
+  template <typename Key, typename Less = std::less<Key>>
+  void solve_swgs_wlis(std::span<const Key> a, std::span<const int64_t> w,
+                       WlisResult& out, SwgsStats* stats = nullptr,
+                       Less less = Less{}) {
+    assert(a.size() == w.size());
+    ThreadSequentialGuard guard(below_cutoff(a.size()));
+    WlisWorkspace& ws = main_wlis();
+    rank_space_into<Key, Less>(a, opts_.ties, ws.rank_space, ws.rank_scratch,
+                               less);
+    swgs_wlis_compressed_into(std::span<const int64_t>(ws.rank_space.rank),
+                              w, opts_.seed, ws, out, stats);
+  }
 
   /// Batched serving: solves queries[i] into results[i] for every i.
   /// Queries are independent; |results| >= |queries|. Queries with
   /// |a| <= options().sequential_cutoff are packed across the worker pool
   /// (one task each, solved sequentially on per-worker workspaces); larger
-  /// ones run one at a time with intra-query parallelism.
+  /// ones run one at a time with intra-query parallelism. Honors
+  /// options().ties like every other entry point.
   void solve_many(std::span<const Query> queries,
                   std::span<QueryResult> results);
 
@@ -137,10 +232,18 @@ class Solver {
   }
 
   void solve_query(const Query& q, QueryResult& r, ThreadCtx& ctx);
-  // The calling thread's tournament storage (main_ctx_->tour): one warm
-  // copy serves solve_lis, solve_lis_frontiers, and solve_many's large
-  // unweighted queries alike.
+  // Accessors into the caller-thread context (main_ctx_), so the template
+  // entry points above can reach the workspaces without the header seeing
+  // ThreadCtx's definition. main_tournament: one warm tournament storage
+  // serves solve_lis, solve_lis_frontiers, and solve_many's large
+  // unweighted queries alike. lis_rank_space/lis_rank_scratch: the
+  // LIS-side compression buffers — deliberately separate from the WLIS
+  // workspace's rank space, whose contents back the value-sequence cache.
   TournamentStorage<int64_t>& main_tournament();
+  WlisWorkspace& main_wlis();
+  RankSpace& lis_rank_space();
+  RankSpaceScratch& lis_rank_scratch();
+  LisResult& scratch_lis_result();
 
   Options opts_;
   std::unique_ptr<ThreadCtx> main_ctx_; // caller-thread workspaces

@@ -22,6 +22,7 @@
 
 #include "parlis/lis/tournament_tree.hpp"
 #include "parlis/parallel/parallel.hpp"
+#include "parlis/util/rank_space.hpp"
 
 namespace parlis {
 
@@ -134,17 +135,24 @@ int64_t lis_length(const std::vector<T>& a,
   return lis_ranks(a, inf, less).k;
 }
 
-/// Longest *non-decreasing* subsequence: equal values may chain. Runs the
-/// strict algorithm on (value, index) pairs ordered lexicographically, so a
-/// later duplicate compares greater than an earlier one.
+/// Longest *non-decreasing* subsequence: equal values may chain. Reduces to
+/// the strict algorithm through the shared rank-space pass under the
+/// kNonDecreasing ties policy (stable (value, index) ranking), so the
+/// tournament tree runs on the one shared int64 rank kernel instead of
+/// instantiating over (value, index) pairs. The `inf` parameter is retained
+/// for signature compatibility but unused: ranks are dense, so n is always
+/// a valid sentinel.
 template <typename T>
 LisResult longest_nondecreasing_ranks(
     const std::vector<T>& a, T inf = std::numeric_limits<T>::max()) {
-  std::vector<std::pair<T, int64_t>> pairs(a.size());
-  parallel_for(0, static_cast<int64_t>(a.size()),
-               [&](int64_t i) { pairs[i] = {a[i], i}; });
-  return lis_ranks(pairs,
-                   std::pair<T, int64_t>{inf, std::numeric_limits<int64_t>::max()});
+  (void)inf;
+  RankSpace rs = rank_space<T>(std::span<const T>(a.data(), a.size()),
+                               TiesPolicy::kNonDecreasing);
+  LisResult res;
+  TournamentStorage<int64_t> ws;
+  lis_ranks_into<int64_t>(std::span<const int64_t>(rs.rank), res, ws,
+                          static_cast<int64_t>(a.size()));
+  return res;
 }
 
 template <typename T>

@@ -23,5 +23,6 @@
 #include "parlis/swgs/swgs.hpp"             // SWGS baseline
 #include "parlis/swgs/dominance_oracle.hpp" // SWGS probe structure
 #include "parlis/util/arena.hpp"            // chunked bump arena
+#include "parlis/util/rank_space.hpp"       // TiesPolicy + rank compression
 #include "parlis/util/generators.hpp"       // paper input generators
 #include "parlis/util/timer.hpp"

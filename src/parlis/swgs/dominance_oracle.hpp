@@ -1,9 +1,13 @@
 // Dominance oracle for the SWGS baseline (Shen et al. 2022 [64]).
 //
 // A merge-sort tree over the input *index* order: each segment-tree node
-// stores its objects sorted by (value, index), with a Fenwick tree of
-// "alive" counts over that sorted order. Supports, for an object i with
-// value A_i, over the alive set:
+// stores its objects sorted by (key, index), with a Fenwick tree of
+// "alive" counts over that sorted order. The oracle is comparison-based —
+// raw int64 values and their rank image (util/rank_space.hpp) produce
+// bit-identical behavior — which is how generic key types reach this
+// baseline: the Solver's typed overloads compress once and hand the rank
+// span to the SWGS drivers. Supports, for an object i with key A_i, over
+// the alive set:
 //
 //   count(i)        — # alive j with j < i and A_j < A_i       O(log^2 n)
 //   kth(i, r)       — index of the r-th such j (1-based)       O(log^2 n)
@@ -30,6 +34,8 @@ namespace parlis {
 
 class DominanceOracle {
  public:
+  /// `a` is any int64 sequence compared with `<` — raw values or the
+  /// dense rank image of the caller's keys.
   explicit DominanceOracle(std::span<const int64_t> a);
 
   // Level arrays are plain pointers into arena chunks; moves transfer the

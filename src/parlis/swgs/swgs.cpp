@@ -7,6 +7,7 @@
 #include "parlis/parallel/primitives.hpp"
 #include "parlis/parallel/random.hpp"
 #include "parlis/swgs/dominance_oracle.hpp"
+#include "parlis/util/rank_space.hpp"
 #include "parlis/wlis/range_tree.hpp"
 #include "parlis/wlis/wlis_workspace.hpp"
 
@@ -15,8 +16,13 @@ namespace parlis {
 namespace {
 
 // One wake-up-scheme execution writing ranks into `rank` (resized to n) and
-// the round count into `k`; returns the probe count. Each round's frontier
-// (sorted by index) is reported through on_frontier(round, indices).
+// the round count into `k`; returns the probe count. `a` is any int64
+// sequence — raw values or a rank image (util/rank_space.hpp): the oracle
+// is comparison-based and a rank reduction is order-isomorphic, so both
+// produce bit-identical rounds and certificates. That is how any key type
+// reaches this baseline: the Solver's typed overloads compress once and
+// pass the rank image here. Each round's frontier (sorted by index) is
+// reported through on_frontier(round, indices).
 template <typename OnFrontier>
 int64_t run_rounds(std::span<const int64_t> a, uint64_t seed,
                    std::vector<int32_t>& rank, int32_t& k,
@@ -84,6 +90,7 @@ int64_t run_rounds(std::span<const int64_t> a, uint64_t seed,
 
 void swgs_lis_ranks_into(std::span<const int64_t> a, uint64_t seed,
                          LisResult& out, SwgsStats* stats) {
+  // No reduction needed: the oracle compares elements, never ranks them.
   int64_t checks = run_rounds(
       a, seed, out.rank, out.k, [](int32_t, const std::vector<int64_t>&) {});
   if (stats != nullptr) stats->total_checks = checks;
@@ -96,9 +103,11 @@ LisResult swgs_lis_ranks(std::span<const int64_t> a, uint64_t seed,
   return res;
 }
 
-void swgs_wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
-                    uint64_t seed, WlisWorkspace& ws, WlisResult& out,
-                    SwgsStats* stats) {
+namespace {
+
+void swgs_wlis_dispatch(std::span<const int64_t> a, std::span<const int64_t> w,
+                        uint64_t seed, WlisWorkspace& ws, WlisResult& out,
+                        SwgsStats* stats, bool rank_space_ready) {
   assert(a.size() == w.size());
   int64_t n = static_cast<int64_t>(a.size());
   out.dp.assign(n, 0);
@@ -106,13 +115,17 @@ void swgs_wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
   out.k = 0;
   if (stats != nullptr) stats->total_checks = 0;
   if (n == 0) return;
-  // Same value-order preprocessing and dominant-max tree as Alg. 2. This
-  // clobbers the workspace's value-sequence cache (the tree's scores fill
-  // with SWGS dp values), so invalidate it.
+  // The same rank-space pass and dominant-max tree as Alg. 2. This clobbers
+  // the workspace's value-sequence cache (the rank space is overwritten and
+  // the tree's scores fill with SWGS dp values), so invalidate it.
   ws.cache_valid = false;
   ws.tree_ready = false;
-  wlis_build_value_order(a, ws);
-  ws.tree.rebuild(ws.y_by_pos);
+  if (!rank_space_ready) {
+    rank_space_into<int64_t>(a, TiesPolicy::kStrict, ws.rank_space,
+                             ws.rank_scratch);
+  }
+  const RankSpace& rsp = ws.rank_space;
+  ws.tree.rebuild(rsp.order);
   ws.batch.resize(n);  // frontiers partition [0, n): reused across rounds
   int64_t checks = run_rounds(
       a, seed, ws.swgs_rank, out.k,
@@ -120,11 +133,11 @@ void swgs_wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
         int64_t fn = static_cast<int64_t>(frontier.size());
         parallel_for(0, fn, [&](int64_t t) {
           int64_t j = frontier[t];
-          int64_t q = ws.tree.dominant_max(ws.qpos[j], j);
+          int64_t q = ws.tree.dominant_max(rsp.qpos[j], j);
           out.dp[j] = w[j] + std::max<int64_t>(0, q);
         });
         parallel_for(0, fn, [&](int64_t t) {
-          ws.batch[t] = {ws.pos[frontier[t]], out.dp[frontier[t]]};
+          ws.batch[t] = {rsp.pos[frontier[t]], out.dp[frontier[t]]};
         });
         ws.tree.update_batch(ws.batch.data(), fn);
       });
@@ -132,6 +145,25 @@ void swgs_wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
   out.best = reduce_index<int64_t>(
       0, n, 0, [&](int64_t i) { return out.dp[i]; },
       [](int64_t x, int64_t y) { return std::max(x, y); });
+}
+
+}  // namespace
+
+void swgs_wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
+                    uint64_t seed, WlisWorkspace& ws, WlisResult& out,
+                    SwgsStats* stats) {
+  swgs_wlis_dispatch(a, w, seed, ws, out, stats, /*rank_space_ready=*/false);
+}
+
+void swgs_wlis_compressed_into(std::span<const int64_t> ranks,
+                               std::span<const int64_t> w, uint64_t seed,
+                               WlisWorkspace& ws, WlisResult& out,
+                               SwgsStats* stats) {
+  assert(ranks.data() == ws.rank_space.rank.data() &&
+         ranks.size() == ws.rank_space.rank.size() &&
+         "ws.rank_space must be the rank_space_into output describing ranks");
+  swgs_wlis_dispatch(ranks, w, seed, ws, out, stats,
+                     /*rank_space_ready=*/true);
 }
 
 WlisResult swgs_wlis(std::span<const int64_t> a, std::span<const int64_t> w,

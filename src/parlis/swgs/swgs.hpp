@@ -44,10 +44,20 @@ void swgs_lis_ranks_into(std::span<const int64_t> a, uint64_t seed,
 WlisResult swgs_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
                      uint64_t seed = 42, SwgsStats* stats = nullptr);
 
-/// Workspace-injected form: shares the WlisWorkspace of Alg. 2 (value
-/// order, score batches, range tree).
+/// Workspace-injected form: shares the WlisWorkspace of Alg. 2 (rank
+/// space, score batches, range tree).
 void swgs_wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
                     uint64_t seed, WlisWorkspace& ws, WlisResult& out,
                     SwgsStats* stats = nullptr);
+
+/// Rank-space entry point (the Solver's typed overloads drive this, like
+/// wlis_compressed_into): `ranks` must be ws.rank_space.rank itself, with
+/// ws.rank_space the rank_space_into output for the caller's keys — the
+/// internal re-derivation is skipped, so generic keys pay exactly one
+/// compression.
+void swgs_wlis_compressed_into(std::span<const int64_t> ranks,
+                               std::span<const int64_t> w, uint64_t seed,
+                               WlisWorkspace& ws, WlisResult& out,
+                               SwgsStats* stats = nullptr);
 
 }  // namespace parlis

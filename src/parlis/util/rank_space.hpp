@@ -1,0 +1,169 @@
+// Rank-space reduction: the one preprocessing pass every backend shares.
+//
+// Every algorithm in this repo — the tournament tree of Alg. 1, the range
+// tree of Sec. 4.1, the Mono-vEB structure of Sec. 4.2 / Appendix E, and
+// the SWGS dominance oracle — is comparison-based: it only ever consumes
+// the *rank* of a value within the input, never the value itself. This
+// header centralizes the reduction from an arbitrary strictly-ordered key
+// sequence (int64, double, timestamps, tuples under a comparator, ...) to
+// its rank image, so one compression pass feeds all backends and each key
+// type costs exactly one template instantiation of the sort — the int64
+// solver core downstream is shared.
+//
+// The pass is a parallel sort of the index permutation by (key, index)
+// (O(n log n) work via the scheduler's merge sort, allocation-free base
+// case) followed by blocked run scans. Workspace-injected: repeated
+// same-size compressions through one RankSpace/RankSpaceScratch pair
+// perform zero heap allocations — the contract the warm Solver path gates
+// with the operator-new hook test.
+//
+// Ties are a policy, not an accident:
+//  * kStrict        — equal keys share a rank; a strictly-increasing
+//    subsequence of ranks is a strictly-increasing subsequence of keys.
+//  * kNonDecreasing — keys are ranked stably by (key, index), so equal
+//    keys get increasing ranks in input order; a strictly-increasing
+//    subsequence of ranks is a *non-decreasing* subsequence of keys.
+// Either way the downstream solvers run the strict algorithm on the rank
+// image and never learn which policy (or key type) produced it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/primitives.hpp"
+
+namespace parlis {
+
+/// How equal keys interact in an "increasing" subsequence (see above).
+enum class TiesPolicy { kStrict, kNonDecreasing };
+
+/// The rank image of a key sequence. All arrays have the input length n.
+struct RankSpace {
+  /// Indices sorted by (key, index): order[p] is the index of the p-th
+  /// smallest key (ties by input position). This is the y_by_pos
+  /// permutation the WLIS range structures are built over.
+  std::vector<int64_t> order;
+  /// Inverse permutation: pos[order[p]] = p (the value-order position of
+  /// index i — where updates for point i land in the range structures).
+  std::vector<int64_t> pos;
+  /// Dense rank in [0, n_distinct): rank[i] counts the distinct keys
+  /// strictly below key i. Under kNonDecreasing, rank == pos (every
+  /// element is its own rank; n_distinct == n).
+  std::vector<int64_t> rank;
+  /// qpos[i] = number of *elements* with key strictly below key i — the
+  /// start of key i's run in `order`, i.e. the x-prefix bound of i's
+  /// dominant-max query. Under kNonDecreasing, qpos == pos.
+  std::vector<int64_t> qpos;
+  int64_t n_distinct = 0;
+};
+
+/// Reusable scratch for rank_space_into (merge buffer + per-block run
+/// carries). Same-size re-compressions through one scratch allocate nothing.
+struct RankSpaceScratch {
+  std::vector<int64_t> sort_buf;
+  std::vector<int64_t> carry_qpos;  // incoming run start per block
+  std::vector<int64_t> carry_rank;  // incoming dense rank per block
+};
+
+/// Compresses `keys` into `rs` under `ties`, reusing every buffer in `rs`
+/// and `scratch`. `less` must be a strict weak ordering; keys i and j are
+/// equal iff neither less(keys[i], keys[j]) nor less(keys[j], keys[i]).
+template <typename Key, typename Less = std::less<Key>>
+void rank_space_into(std::span<const Key> keys, TiesPolicy ties,
+                     RankSpace& rs, RankSpaceScratch& scratch,
+                     Less less = Less{}) {
+  const int64_t n = static_cast<int64_t>(keys.size());
+  rs.order.resize(n);
+  rs.pos.resize(n);
+  rs.rank.resize(n);
+  rs.qpos.resize(n);
+  rs.n_distinct = 0;
+  if (n == 0) return;
+  scratch.sort_buf.resize(n);
+  parallel_for(0, n, [&](int64_t i) { rs.order[i] = i; });
+  // (key, index) is a total order, so the allocation-free std::sort base
+  // case applies.
+  sort_with_buffer_total(rs.order.data(), scratch.sort_buf.data(), n,
+                         [&](int64_t i, int64_t j) {
+                           if (less(keys[i], keys[j])) return true;
+                           if (less(keys[j], keys[i])) return false;
+                           return i < j;
+                         });
+  parallel_for(0, n, [&](int64_t p) { rs.pos[rs.order[p]] = p; });
+  if (ties == TiesPolicy::kNonDecreasing) {
+    // Stable (key, index) ranking: the sorted position itself. Ranks are a
+    // permutation of [0, n) and every key is distinct in rank space.
+    parallel_for(0, n, [&](int64_t i) {
+      rs.rank[i] = rs.pos[i];
+      rs.qpos[i] = rs.pos[i];
+    });
+    rs.n_distinct = n;
+    return;
+  }
+  // kStrict: blocked two-pass run scan over the sorted order. Position p
+  // starts a run iff its key differs from its predecessor's; the run start
+  // is qpos, the number of run starts at or before p (minus one) is the
+  // dense rank. Pass 1 computes each block's outgoing (run start, run
+  // count); a short sequential sweep turns them into incoming carries;
+  // pass 2 replays each block. The carries live in the scratch, so the
+  // whole scan is allocation-free when warm.
+  constexpr int64_t kBlock = 4096;
+  const int64_t nblocks = (n + kBlock - 1) / kBlock;
+  scratch.carry_qpos.resize(nblocks);
+  scratch.carry_rank.resize(nblocks);
+  auto run_starts = [&](int64_t p) {
+    return p == 0 || less(keys[rs.order[p - 1]], keys[rs.order[p]]);
+  };
+  parallel_for(0, nblocks, [&](int64_t b) {
+    const int64_t lo = b * kBlock, hi = std::min(n, lo + kBlock);
+    int64_t last = -1, runs = 0;
+    for (int64_t p = lo; p < hi; p++) {
+      if (run_starts(p)) {
+        last = p;
+        runs++;
+      }
+    }
+    scratch.carry_qpos[b] = last;  // -1: block opens no run
+    scratch.carry_rank[b] = runs;
+  });
+  int64_t carry_start = 0, carry_rank = 0;
+  for (int64_t b = 0; b < nblocks; b++) {
+    const int64_t last = scratch.carry_qpos[b];
+    const int64_t runs = scratch.carry_rank[b];
+    scratch.carry_qpos[b] = carry_start;
+    scratch.carry_rank[b] = carry_rank;
+    if (last >= 0) carry_start = last;
+    carry_rank += runs;
+  }
+  rs.n_distinct = carry_rank;
+  parallel_for(0, nblocks, [&](int64_t b) {
+    const int64_t lo = b * kBlock, hi = std::min(n, lo + kBlock);
+    int64_t start = scratch.carry_qpos[b];
+    int64_t rank = scratch.carry_rank[b] - 1;  // rank of the open run
+    for (int64_t p = lo; p < hi; p++) {
+      if (run_starts(p)) {
+        start = p;
+        rank++;
+      }
+      rs.qpos[rs.order[p]] = start;
+      rs.rank[rs.order[p]] = rank;
+    }
+  });
+}
+
+/// One-shot convenience form (fresh buffers per call).
+template <typename Key, typename Less = std::less<Key>>
+RankSpace rank_space(std::span<const Key> keys,
+                     TiesPolicy ties = TiesPolicy::kStrict,
+                     Less less = Less{}) {
+  RankSpace rs;
+  RankSpaceScratch scratch;
+  rank_space_into<Key, Less>(keys, ties, rs, scratch, less);
+  return rs;
+}
+
+}  // namespace parlis

@@ -121,12 +121,10 @@ void MonoVeb::check_staircase() const {
   auto m = keys_.min();
   if (!m) return;
   uint64_t cur = *m;
-  int64_t prev_score = score_[cur];
   while (true) {
     auto nxt = keys_.succ_gt(cur);
     if (!nxt) break;
-    assert(score_[*nxt] > prev_score && "staircase scores must increase");
-    prev_score = score_[*nxt];
+    assert(score_[*nxt] > score_[cur] && "staircase scores must increase");
     cur = *nxt;
   }
 }

@@ -15,13 +15,32 @@ RangeVeb::RangeVeb(std::span<const int64_t> y_by_pos)
   if (n_ == 0) return;
   int64_t width =
       static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(n_)));
+  // Inverse of y_by_pos (construction scratch): which value-order position
+  // holds y. Turns each level's sorted-y block into that level's rank
+  // table — rank[pos_of[y]] = slot of y in its block — in one linear pass
+  // per level, piggybacking on the merge that builds the block.
+  std::vector<int64_t> pos_of(n_);
+  parallel_for(0, n_, [&](int64_t p) { pos_of[y_by_pos[p]] = p; });
   std::vector<Level> rev;
+  auto fill_ranks = [&](Level& lev) {
+    int32_t* rank = arena_->create_array_uninit<int32_t>(n_);
+    int64_t nblocks = (n_ + lev.width - 1) / lev.width;
+    parallel_for(0, nblocks, [&](int64_t blk) {
+      int64_t lo = blk * lev.width;
+      int64_t hi = std::min(n_, lo + lev.width);
+      for (int64_t s = lo; s < hi; s++) {
+        rank[pos_of[lev.ys[s]]] = static_cast<int32_t>(s - lo);
+      }
+    });
+    lev.rank = rank;
+  };
   {
     Level leaf;
     leaf.width = 1;
     int64_t* ys = arena_->create_array_uninit<int64_t>(n_);
     parallel_for(0, n_, [&](int64_t p) { ys[p] = y_by_pos[p]; });
     leaf.ys = ys;
+    fill_ranks(leaf);
     rev.push_back(std::move(leaf));
   }
   while (rev.back().width < width) {
@@ -38,6 +57,7 @@ RangeVeb::RangeVeb(std::span<const int64_t> y_by_pos)
                  std::less<int64_t>{});
     });
     next.ys = ys;
+    fill_ranks(next);
     rev.push_back(std::move(next));
   }
   // One Mono-vEB per node block, with relabeled universe = block length;
@@ -97,11 +117,12 @@ int64_t RangeVeb::dominant_max(int64_t qpos, int64_t qy) const {
 void RangeVeb::update_batch(const ScoreUpdate* batch, int64_t m) {
   if (m == 0) return;
   assert(m <= n_ && "batch positions must be distinct");
-  const int64_t* y_leaf = levels_.back().ys;  // leaf ys = y_by_pos
   // Per level: group the batch by node block, relabel each point inside its
-  // block, and update every touched inner tree in parallel. Grouping sorts
-  // packed (block id, batch index) keys — stable by construction, so each
-  // group stays sorted by y — entirely inside the preallocated scratch.
+  // block through the construction-time rank table (one O(1) lookup, no
+  // binary search), and update every touched inner tree in parallel.
+  // Grouping sorts packed (block id, batch index) keys — stable by
+  // construction, so each group stays sorted by y — entirely inside the
+  // preallocated scratch.
   for (Level& lev : levels_) {
     parallel_for(0, m, [&](int64_t i) {
       uint64_t blk = static_cast<uint64_t>(batch[i].pos / lev.width);
@@ -113,11 +134,7 @@ void RangeVeb::update_batch(const ScoreUpdate* batch, int64_t m) {
                            std::less<uint64_t>{});
     parallel_for(0, m, [&](int64_t i) {
       const ScoreUpdate& it = batch[sort_keys_[i] & 0xffffffffu];
-      int64_t lo = (it.pos / lev.width) * lev.width;
-      int64_t len = std::min(n_, lo + lev.width) - lo;
-      const int64_t* ys = lev.ys + lo;
-      uint64_t label = std::lower_bound(ys, ys + len, y_leaf[it.pos]) - ys;
-      pts_[i] = {label, it.score};
+      pts_[i] = {static_cast<uint64_t>(lev.rank[it.pos]), it.score};
     });
     auto blk_of = [&](int64_t i) { return sort_keys_[i] >> 32; };
     auto is_start = [&](int64_t i) {

@@ -8,8 +8,13 @@
 // each inner Mono-vEB for the predecessor of the (relabeled) query y — one
 // O(log log n) Pred per node. Update routes each frontier point to its
 // O(log n) ancestor nodes, refines each per-node batch to the staircase,
-// and applies CoveredBy + BatchDelete + BatchInsert (Thm. 1.2 bounds, up to
-// the binary-search label lookup documented in DESIGN.md).
+// and applies CoveredBy + BatchDelete + BatchInsert (Thm. 1.2 bounds).
+// Update-side labels come from per-level *rank tables* filled at
+// construction (each point's slot inside its node's sorted-y block — the
+// same bottom-up merge that builds the levels pays for them), so routing a
+// point is an O(1) lookup per level, not a binary search; only the generic
+// query path still relabels by binary search (the Appendix E label tables
+// of precompute_query_labels remove it for point queries).
 //
 // Storage: one Arena backs the whole structure — the per-level sorted-y
 // arrays and every inner Mono-vEB (nodes and score tables) — so
@@ -79,6 +84,10 @@ class RangeVeb {
   struct Level {
     int64_t width = 0;
     const int64_t* ys = nullptr;   // per node block: sorted y's (arena)
+    // rank[p] = slot of the point at value-order position p inside its
+    // block's sorted y's, relative to the block start (arena): the O(1)
+    // update-side label.
+    const int32_t* rank = nullptr;
     std::vector<MonoVeb> inner;    // one Mono-vEB per block (shared pool)
   };
 

@@ -6,6 +6,7 @@
 #include "parlis/lis/lis.hpp"
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/primitives.hpp"
+#include "parlis/util/rank_space.hpp"
 #include "parlis/wlis/range_structure.hpp"
 #include "parlis/wlis/range_tree.hpp"
 #include "parlis/wlis/range_veb.hpp"
@@ -13,59 +14,10 @@
 
 namespace parlis {
 
-// Value-order preprocessing shared by all RangeStructs. Everything is
-// written into workspace buffers: the permutation sort runs through the
-// workspace merge buffer with the total-order (allocation-free) base case,
-// and qpos — the start of each value's run in the sorted order, which keeps
-// dominant-max comparisons strict under duplicate values — is a blocked
-// two-pass scan whose per-block carries live in ws.block_carry.
-void wlis_build_value_order(std::span<const int64_t> a, WlisWorkspace& ws) {
-  const int64_t n = static_cast<int64_t>(a.size());
-  ws.y_by_pos.resize(n);
-  ws.sort_buf.resize(n);
-  ws.pos.resize(n);
-  ws.qpos.resize(n);
-  parallel_for(0, n, [&](int64_t i) { ws.y_by_pos[i] = i; });
-  sort_with_buffer_total(ws.y_by_pos.data(), ws.sort_buf.data(), n,
-                         [&](int64_t i, int64_t j) {
-                           return a[i] != a[j] ? a[i] < a[j] : i < j;
-                         });
-  parallel_for(0, n, [&](int64_t p) { ws.pos[ws.y_by_pos[p]] = p; });
-  constexpr int64_t kBlock = 4096;
-  const int64_t nblocks = (n + kBlock - 1) / kBlock;
-  ws.block_carry.resize(nblocks);
-  // Pass 1: last run start inside each block (-1 if the block opens none).
-  parallel_for(0, nblocks, [&](int64_t b) {
-    int64_t lo = b * kBlock, hi = std::min(n, lo + kBlock);
-    int64_t last = -1;
-    for (int64_t p = lo; p < hi; p++) {
-      if (p == 0 || a[ws.y_by_pos[p - 1]] != a[ws.y_by_pos[p]]) last = p;
-    }
-    ws.block_carry[b] = last;
-  });
-  // Carry the run starts across blocks (position 0 always starts a run, so
-  // every block after the first has a well-defined incoming carry).
-  int64_t carry = 0;
-  for (int64_t b = 0; b < nblocks; b++) {
-    int64_t last = ws.block_carry[b];
-    ws.block_carry[b] = carry;
-    if (last >= 0) carry = last;
-  }
-  // Pass 2: replay each block with its incoming carry.
-  parallel_for(0, nblocks, [&](int64_t b) {
-    int64_t lo = b * kBlock, hi = std::min(n, lo + kBlock);
-    int64_t run = ws.block_carry[b];
-    for (int64_t p = lo; p < hi; p++) {
-      if (p == 0 || a[ws.y_by_pos[p - 1]] != a[ws.y_by_pos[p]]) run = p;
-      ws.qpos[ws.y_by_pos[p]] = run;
-    }
-  });
-}
-
 namespace {
 
-// Value-sequence cache hit: the cached preparation (frontiers, value
-// order, tree tables) is valid iff the values are bytewise identical.
+// Value-sequence cache hit: the cached preparation (frontiers, rank
+// space, tree tables) is valid iff the values are bytewise identical.
 bool values_cached(const WlisWorkspace& ws, std::span<const int64_t> a) {
   return ws.cache_valid && ws.cached_a.size() == a.size() &&
          std::equal(a.begin(), a.end(), ws.cached_a.begin());
@@ -82,7 +34,7 @@ struct TreeAdapter {
     if (values_reused && ws.tree_ready) {
       rs.reset_scores();
     } else {
-      rs.rebuild(ws.y_by_pos);
+      rs.rebuild(ws.rank_space.order);
       ws.tree_ready = true;
     }
   }
@@ -91,7 +43,7 @@ struct TreeAdapter {
 struct VebAdapter {
   RangeVeb& rs;
   VebAdapter(WlisWorkspace& ws, bool)
-      : rs(ws.veb.emplace(std::span<const int64_t>(ws.y_by_pos))) {}
+      : rs(ws.veb.emplace(std::span<const int64_t>(ws.rank_space.order))) {}
 };
 
 // Like VebAdapter but with the Appendix E label tables: queries for input
@@ -99,28 +51,38 @@ struct VebAdapter {
 struct VebTabulatedAdapter {
   RangeVeb& rs;
   VebTabulatedAdapter(WlisWorkspace& ws, bool)
-      : rs(ws.veb.emplace(std::span<const int64_t>(ws.y_by_pos))) {
-    rs.precompute_query_labels(ws.qpos);  // qpos is indexed by y already
+      : rs(ws.veb.emplace(std::span<const int64_t>(ws.rank_space.order))) {
+    rs.precompute_query_labels(ws.rank_space.qpos);  // indexed by y already
   }
   int64_t dominant_max_point(int64_t j) const {
     return rs.dominant_max_point(j);
   }
 };
 
+// The round engine of Alg. 2. `a` is whatever int64 sequence the frontiers
+// and rank space describe — raw values on the classic path, a rank image on
+// the generic-key path; the rounds only consume comparisons through the
+// rank-space arrays, so they cannot tell the difference. When
+// `rank_space_ready`, ws.rank_space already describes `a` (the caller
+// compressed the original keys) and a cache miss skips re-deriving it.
 template <typename Adapter>
 void run_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
-              WlisWorkspace& ws, WlisResult& res) {
+              WlisWorkspace& ws, WlisResult& res, bool rank_space_ready) {
   int64_t n = static_cast<int64_t>(a.size());
   const bool reuse = values_cached(ws, a);
   if (!reuse) {
     ws.cache_valid = false;
     ws.tree_ready = false;
+    if (!rank_space_ready) {
+      rank_space_into<int64_t>(a, TiesPolicy::kStrict, ws.rank_space,
+                               ws.rank_scratch);
+    }
     lis_frontiers_into<int64_t>(a, ws.frontiers, ws.tournament);
-    wlis_build_value_order(a, ws);
     ws.cached_a.assign(a.begin(), a.end());
     ws.cache_valid = true;
   }
   Adapter ad(ws, reuse);
+  const RankSpace& rsp = ws.rank_space;
   res.dp.assign(n, 0);
   res.k = ws.frontiers.k;
   const LisFrontiers& fr = ws.frontiers;
@@ -142,7 +104,7 @@ void run_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
     // the y (= index) array of its own queries, so batched structures get
     // the whole round's queries in one level-synchronous call.
     if constexpr (kBatchedQueries) {
-      parallel_for(0, fn, [&](int64_t t) { ws.qpos_buf[t] = ws.qpos[f[t]]; });
+      parallel_for(0, fn, [&](int64_t t) { ws.qpos_buf[t] = rsp.qpos[f[t]]; });
       ad.rs.dominant_max_batch(ws.qpos_buf.data(), f, fn, ws.qres.data());
       parallel_for(0, fn, [&](int64_t t) {
         int64_t j = f[t];
@@ -155,7 +117,7 @@ void run_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
         if constexpr (requires { ad.dominant_max_point(j); }) {
           q = ad.dominant_max_point(j);  // Appendix E tables
         } else {
-          q = ad.rs.dominant_max(ws.qpos[j], j);
+          q = ad.rs.dominant_max(rsp.qpos[j], j);
         }
         res.dp[j] = w[j] + std::max<int64_t>(0, q);
       });
@@ -163,7 +125,7 @@ void run_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
     // Lines 17-18: publish the new scores as one batch. The frontier is
     // sorted by index (= by y), satisfying the concept's batch contract.
     parallel_for(0, fn,
-                 [&](int64_t t) { batch[t] = {ws.pos[f[t]], res.dp[f[t]]}; });
+                 [&](int64_t t) { batch[t] = {rsp.pos[f[t]], res.dp[f[t]]}; });
     ad.rs.update_batch(batch, fn);
   }
   res.best = reduce_index<int64_t>(
@@ -171,10 +133,9 @@ void run_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
       [](int64_t x, int64_t y) { return std::max(x, y); });
 }
 
-}  // namespace
-
-void wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
-               WlisWorkspace& ws, WlisResult& out, WlisStructure structure) {
+void wlis_dispatch(std::span<const int64_t> a, std::span<const int64_t> w,
+                   WlisWorkspace& ws, WlisResult& out, WlisStructure structure,
+                   bool rank_space_ready) {
   assert(a.size() == w.size());
   out.dp.clear();
   out.best = 0;
@@ -182,15 +143,34 @@ void wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
   if (a.empty()) return;
   switch (structure) {
     case WlisStructure::kRangeTree:
-      run_wlis<TreeAdapter>(a, w, ws, out);
+      run_wlis<TreeAdapter>(a, w, ws, out, rank_space_ready);
       return;
     case WlisStructure::kRangeVeb:
-      run_wlis<VebAdapter>(a, w, ws, out);
+      run_wlis<VebAdapter>(a, w, ws, out, rank_space_ready);
       return;
     case WlisStructure::kRangeVebTabulated:
-      run_wlis<VebTabulatedAdapter>(a, w, ws, out);
+      run_wlis<VebTabulatedAdapter>(a, w, ws, out, rank_space_ready);
       return;
   }
+}
+
+}  // namespace
+
+void wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
+               WlisWorkspace& ws, WlisResult& out, WlisStructure structure) {
+  wlis_dispatch(a, w, ws, out, structure, /*rank_space_ready=*/false);
+}
+
+void wlis_compressed_into(std::span<const int64_t> ranks,
+                          std::span<const int64_t> w, WlisWorkspace& ws,
+                          WlisResult& out, WlisStructure structure) {
+  // Pin the cross-call contract: the rank space consulted by the rounds
+  // must be the one that produced `ranks` — a span from any other
+  // RankSpace would silently route updates through stale pos/qpos.
+  assert(ranks.data() == ws.rank_space.rank.data() &&
+         ranks.size() == ws.rank_space.rank.size() &&
+         "ws.rank_space must be the rank_space_into output describing ranks");
+  wlis_dispatch(ranks, w, ws, out, structure, /*rank_space_ready=*/true);
 }
 
 WlisResult wlis(std::span<const int64_t> a, std::span<const int64_t> w,

@@ -47,6 +47,18 @@ void wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
                WlisWorkspace& ws, WlisResult& out,
                WlisStructure structure = WlisStructure::kRangeTree);
 
+/// Rank-space entry point (what the Solver's generic-key overloads drive):
+/// the caller ran rank_space_into over the original keys into
+/// ws.rank_space and passes ws.rank_space.rank itself here (asserted —
+/// a rank span from any other RankSpace would pair the rounds with stale
+/// pos/qpos). Skips re-deriving the value order from the rank array;
+/// otherwise identical to wlis_into (same cache, same zero-allocation
+/// steady state).
+void wlis_compressed_into(std::span<const int64_t> ranks,
+                          std::span<const int64_t> w, WlisWorkspace& ws,
+                          WlisResult& out,
+                          WlisStructure structure = WlisStructure::kRangeTree);
+
 /// Recovers the indices of one maximum-weight increasing subsequence from
 /// the dp table (ascending indices, strictly increasing values, weight sum
 /// == max dp). A single backward scan: from the argmax, repeatedly find the

@@ -3,7 +3,7 @@
 // injected into wlis_into / swgs_wlis_into. parlis::Solver holds one per
 // session (plus one per worker for batched serving); after a warm-up solve,
 // repeated same-size solves through the same workspace perform zero heap
-// allocations — the tournament storage, frontier buffers, value-order
+// allocations — the tournament storage, frontier buffers, rank-space
 // arrays, round batches, and the range tree's arena are all recycled.
 //
 // The vEB-backed structures (kRangeVeb / kRangeVebTabulated) are
@@ -19,6 +19,7 @@
 
 #include "parlis/lis/lis.hpp"
 #include "parlis/lis/tournament_tree.hpp"
+#include "parlis/util/rank_space.hpp"
 #include "parlis/wlis/range_structure.hpp"
 #include "parlis/wlis/range_tree.hpp"
 #include "parlis/wlis/range_veb.hpp"
@@ -30,11 +31,13 @@ struct WlisWorkspace {
   TournamentStorage<int64_t> tournament;
   LisFrontiers frontiers;
 
-  // Value-order preprocessing: points sorted by (value, index). pos[i] =
-  // position of object i in that order; qpos[i] = number of objects with
-  // value strictly below a[i]. block_carry holds the per-block run-start
-  // carries of the qpos scan.
-  std::vector<int64_t> y_by_pos, sort_buf, pos, qpos, block_carry;
+  // Rank-space view of the value sequence (util/rank_space.hpp): order is
+  // the y_by_pos permutation the range structures build over, pos its
+  // inverse (update positions), qpos the x-prefix of each point's
+  // dominant-max query. Shared by Alg. 2, the SWGS driver, and the
+  // Solver's generic-key entry points — one compression pass per solve.
+  RankSpace rank_space;
+  RankSpaceScratch rank_scratch;
 
   // Round buffers: frontiers partition [0, n), so n-sized spans serve every
   // round without clearing.
@@ -51,21 +54,19 @@ struct WlisWorkspace {
   std::vector<int32_t> swgs_rank;
 
   // Value-sequence cache: everything above the rounds — the frontiers, the
-  // value order, and the range tree's rank/bridge tables — is a pure
+  // rank space, and the range tree's rank/bridge tables — is a pure
   // function of the value array `a`, while the weights only enter the
   // per-round dp computation. A session serving repeated queries over a
   // hot value sequence (same series, different weight models) therefore
   // skips the whole preparation: wlis_into compares `a` against cached_a
   // (O(n) equality check, no hashing heuristics) and on a hit re-runs only
   // the rounds against score-reset structures. A miss rebuilds and
-  // re-primes the cache.
+  // re-primes the cache. Invariant: cache_valid implies frontiers and
+  // rank_space describe cached_a — anything that clobbers them for a
+  // different sequence must clear the flags.
   std::vector<int64_t> cached_a;
-  bool cache_valid = false;  // frontiers / value order match cached_a
+  bool cache_valid = false;  // frontiers / rank space match cached_a
   bool tree_ready = false;   // tree's rank/bridge tables match cached_a
 };
-
-/// Fills y_by_pos / pos / qpos (and the scratch they need) for `a`.
-/// Exposed for the SWGS driver, which shares the preprocessing.
-void wlis_build_value_order(std::span<const int64_t> a, WlisWorkspace& ws);
 
 }  // namespace parlis

@@ -126,6 +126,53 @@ int main() {
   for (int r = 0; r < 5; r++) solver.solve_lis_frontiers(a, fr_out);
   expect_zero("solve_lis_frontiers (n=50000)", g_allocs.load() - base);
 
+  // Generic-key steady state: double keys through the typed overloads run
+  // the rank-space compression (sort + run scans) before the int64 core —
+  // the compression workspace must be as warm as everything else.
+  // Alternating inputs force the full pipeline (cache miss) every call.
+  // Masked to 52 bits so the int64 -> double map is exact (no accidental
+  // tie collapse from rounding 62-bit keys into 53-bit mantissas).
+  constexpr int64_t kDoubleExact = (int64_t{1} << 52) - 1;
+  std::vector<double> da(n), da2(n);
+  for (int64_t i = 0; i < n; i++) {
+    da[i] = 0.5 * static_cast<double>(a[i] & kDoubleExact);
+    da2[i] = 0.5 * static_cast<double>(a2[i] & kDoubleExact);
+  }
+  Solver dsolver;
+  for (int r = 0; r < 3; r++) {
+    dsolver.solve_wlis(std::span<const double>(da), w, wlis_out);
+    dsolver.solve_wlis(std::span<const double>(da2), w, wlis_out);
+    dsolver.solve_lis(std::span<const double>(da), lis_out);
+    dsolver.solve_lis(std::span<const double>(da2), lis_out);
+  }
+  base = g_allocs.load();
+  for (int r = 0; r < 5; r++) {
+    dsolver.solve_wlis(r % 2 ? std::span<const double>(da2)
+                             : std::span<const double>(da),
+                       w, wlis_out);
+  }
+  expect_zero("solve_wlis<double> full path", g_allocs.load() - base);
+  base = g_allocs.load();
+  for (int r = 0; r < 5; r++) {
+    dsolver.solve_lis(r % 2 ? std::span<const double>(da2)
+                            : std::span<const double>(da),
+                      lis_out);
+  }
+  expect_zero("solve_lis<double>", g_allocs.load() - base);
+
+  // Non-decreasing ties on int64 inputs route through the same compression
+  // (kNonDecreasing ranking) inside the int64 overloads.
+  Options nd_opts;
+  nd_opts.ties = TiesPolicy::kNonDecreasing;
+  Solver nd_solver(nd_opts);
+  for (int r = 0; r < 3; r++) {
+    nd_solver.solve_wlis(a, w, wlis_out);
+    nd_solver.solve_wlis(a2, w, wlis_out);
+  }
+  base = g_allocs.load();
+  for (int r = 0; r < 5; r++) nd_solver.solve_wlis(r % 2 ? a2 : a, w, wlis_out);
+  expect_zero("solve_wlis nondec ties", g_allocs.load() - base);
+
   // Sanity: the results are still right (vs a fresh one-shot call, which
   // of course allocates — outside any measured window).
   WlisResult ref = wlis(a, w);

@@ -11,12 +11,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "parlis/api/solver.hpp"
 #include "parlis/lis/lis.hpp"
 #include "parlis/lis/seq_lis.hpp"
 #include "parlis/parallel/random.hpp"
 #include "parlis/parallel/scheduler.hpp"
+#include "parlis/util/rank_space.hpp"
 #include "parlis/wlis/seq_avl.hpp"
 #include "parlis/wlis/wlis.hpp"
 
@@ -161,6 +165,174 @@ TEST_P(Differential, SequentialModeProducesIdenticalResults) {
   ASSERT_EQ(par_wlis.dp, seq_wlis.dp);
   ASSERT_EQ(par_wlis.best, seq_wlis.best);
   ASSERT_EQ(par_wlis.dp, seq_veb.dp);
+}
+
+// ------------------------------------------------- ties-policy oracles ---
+
+// O(n^2) dp for the longest *non-decreasing* subsequence.
+std::vector<int32_t> brute_nondec_ranks(const std::vector<int64_t>& a) {
+  std::vector<int32_t> dp(a.size(), 1);
+  for (size_t i = 0; i < a.size(); i++) {
+    for (size_t j = 0; j < i; j++) {
+      if (a[j] <= a[i]) dp[i] = std::max(dp[i], dp[j] + 1);
+    }
+  }
+  return dp;
+}
+
+// O(n^2) weighted dp where equal values may chain.
+std::vector<int64_t> brute_nondec_wlis_dp(const std::vector<int64_t>& a,
+                                          const std::vector<int64_t>& w) {
+  std::vector<int64_t> dp(a.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    int64_t best = 0;
+    for (size_t j = 0; j < i; j++) {
+      if (a[j] <= a[i]) best = std::max(best, dp[j]);
+    }
+    dp[i] = w[i] + best;
+  }
+  return dp;
+}
+
+// The duplicate-value semantics contract, exercised on the tie-heavy sweep
+// cases: under kStrict equal values never chain, under kNonDecreasing they
+// chain in input order — and every backend must agree with the O(n^2)
+// oracle for the policy in force.
+TEST_P(Differential, NonDecreasingTiesMatchOracle) {
+  const DiffCase& c = GetParam();
+  auto a = build_input(c);
+  auto w = build_weights(c, /*with_negatives=*/false);
+  std::vector<int32_t> brute = brute_nondec_ranks(a);
+  int32_t k = 0;
+  for (int32_t t : brute) k = std::max(k, t);
+
+  Options opts;
+  opts.ties = TiesPolicy::kNonDecreasing;
+  for (WlisStructure st :
+       {WlisStructure::kRangeTree, WlisStructure::kRangeVeb,
+        WlisStructure::kRangeVebTabulated}) {
+    opts.structure = st;
+    Solver solver(opts);
+    LisResult lr;
+    solver.solve_lis(std::span<const int64_t>(a), lr);
+    ASSERT_EQ(lr.rank, brute);
+    ASSERT_EQ(lr.k, k);
+    WlisResult wr;
+    solver.solve_wlis(std::span<const int64_t>(a),
+                      std::span<const int64_t>(w), wr);
+    ASSERT_EQ(wr.dp, brute_nondec_wlis_dp(a, w));
+  }
+  // The free-function route to the same policy.
+  ASSERT_EQ(longest_nondecreasing_ranks(a).rank, brute);
+}
+
+// Sequence recovery under both ties policies on tie-heavy inputs: the
+// recovered indices must be ascending, the values must respect the policy,
+// and the length / weight must match the oracle optimum. The
+// kNonDecreasing recovery runs the unchanged strict reconstruction on the
+// rank image — the rank-space reduction makes ties a non-event downstream.
+TEST_P(Differential, SequenceRecoveryUnderBothTiesPolicies) {
+  const DiffCase& c = GetParam();
+  auto a = build_input(c);
+  auto w = build_weights(c, /*with_negatives=*/false);
+
+  // Strict recovery is covered by LisRanksMatchBruteForceAndSeqBs; here
+  // add the weighted strict witness on tie-heavy inputs plus both
+  // non-decreasing recoveries.
+  RankSpace rs = rank_space<int64_t>(std::span<const int64_t>(a),
+                                     TiesPolicy::kNonDecreasing);
+  std::vector<int64_t> ranks = rs.rank;
+
+  std::vector<int64_t> seq = lis_sequence(ranks);
+  std::vector<int32_t> brute = brute_nondec_ranks(a);
+  int32_t k = 0;
+  for (int32_t t : brute) k = std::max(k, t);
+  ASSERT_EQ(static_cast<int32_t>(seq.size()), k);
+  for (size_t t = 1; t < seq.size(); t++) {
+    ASSERT_LT(seq[t - 1], seq[t]);
+    ASSERT_LE(a[seq[t - 1]], a[seq[t]]);  // non-decreasing, ties allowed
+  }
+
+  // Weighted: solve on the rank image, recover on the rank image, validate
+  // against the original values.
+  WlisResult wr = wlis(ranks, w);
+  std::vector<int64_t> brute_dp = brute_nondec_wlis_dp(a, w);
+  ASSERT_EQ(wr.dp, brute_dp);
+  std::vector<int64_t> wseq = wlis_sequence(ranks, w, wr);
+  ASSERT_FALSE(wseq.empty());
+  int64_t total = 0;
+  for (size_t t = 0; t < wseq.size(); t++) {
+    total += w[wseq[t]];
+    if (t > 0) {
+      ASSERT_LT(wseq[t - 1], wseq[t]);
+      ASSERT_LE(a[wseq[t - 1]], a[wseq[t]]);
+    }
+  }
+  int64_t max_dp = *std::max_element(brute_dp.begin(), brute_dp.end());
+  ASSERT_EQ(total, max_dp > 0 ? wr.best : max_dp);
+}
+
+// ------------------------------------------------------- generic keys ---
+
+// Order-preserving injections of the int sweep inputs into other key
+// types: halved doubles (exact in IEEE754 for this value range) and
+// lexicographic (div, mod) pairs. Equal ints map to equal keys, so the
+// tie structure — the hard part — is preserved and the int64 oracles
+// remain the ground truth for both policies.
+TEST_P(Differential, DoubleAndPairKeysMatchOracleThroughSolver) {
+  const DiffCase& c = GetParam();
+  auto a = build_input(c);
+  auto w = build_weights(c, /*with_negatives=*/false);
+  std::vector<double> ad(a.size());
+  std::vector<std::pair<int64_t, int64_t>> ap(a.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    ad[i] = 0.5 * static_cast<double>(a[i]);
+    ap[i] = {a[i] / 97, a[i] % 97};
+  }
+  for (TiesPolicy ties :
+       {TiesPolicy::kStrict, TiesPolicy::kNonDecreasing}) {
+    std::vector<int32_t> brute_ranks = ties == TiesPolicy::kStrict
+                                           ? brute_lis_ranks(a)
+                                           : brute_nondec_ranks(a);
+    std::vector<int64_t> brute_dp = ties == TiesPolicy::kStrict
+                                        ? brute_wlis_dp(a, w)
+                                        : brute_nondec_wlis_dp(a, w);
+    Options opts;
+    opts.ties = ties;
+    Solver solver(opts);
+    LisResult lr;
+    WlisResult wr;
+
+    solver.solve_lis(std::span<const double>(ad), lr);
+    ASSERT_EQ(lr.rank, brute_ranks);
+    solver.solve_wlis(std::span<const double>(ad),
+                      std::span<const int64_t>(w), wr);
+    ASSERT_EQ(wr.dp, brute_dp);
+
+    solver.solve_lis(std::span<const std::pair<int64_t, int64_t>>(ap), lr);
+    ASSERT_EQ(lr.rank, brute_ranks);
+    solver.solve_wlis(std::span<const std::pair<int64_t, int64_t>>(ap),
+                      std::span<const int64_t>(w), wr);
+    ASSERT_EQ(wr.dp, brute_dp);
+
+    // Custom comparator: descending doubles under std::greater must see
+    // the mirrored input's oracle.
+    std::vector<double> neg(ad.size());
+    for (size_t i = 0; i < ad.size(); i++) neg[i] = -ad[i];
+    solver.solve_lis(std::span<const double>(neg), lr,
+                     std::greater<double>{});
+    ASSERT_EQ(lr.rank, brute_ranks);
+
+    // The SWGS baseline through the same reduction (small cases only: the
+    // wake-up scheme is O(n log^3 n) with big constants).
+    if (c.n <= 900) {
+      solver.solve_swgs(std::span<const double>(ad), lr);
+      ASSERT_EQ(lr.rank, brute_ranks);
+      solver.solve_swgs_wlis(std::span<const double>(ad),
+                             std::span<const int64_t>(w), wr);
+      ASSERT_EQ(wr.dp, brute_dp);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, Differential, ::testing::ValuesIn(kCases),

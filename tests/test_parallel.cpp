@@ -181,7 +181,9 @@ TEST(CountingSort, StableGrouping) {
   for (int64_t b = 0; b < buckets; b++) {
     for (int64_t t = offsets[b]; t < offsets[b + 1]; t++) {
       ASSERT_EQ(key[order[t]], b);
-      if (t > offsets[b]) ASSERT_LT(order[t - 1], order[t]);  // stability
+      if (t > offsets[b]) {
+        ASSERT_LT(order[t - 1], order[t]);  // stability
+      }
     }
   }
 }
