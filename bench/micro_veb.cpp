@@ -1,118 +1,306 @@
-// Micro-benchmarks for the parallel vEB tree (Thm. 1.3): batch operations
-// vs repeated point operations, parallel Range vs the sequential Succ loop,
-// and point-op cost vs std::set (the log log U vs log n gap).
-#include <benchmark/benchmark.h>
-
+// Node-layout vs word-layout microbenchmark for the vEB tree.
+//
+// The bit-packed rework (veb_words.hpp) collapses every universe <= 4096
+// subtree into a flat summary-word + cluster-words block. This harness
+// measures exactly that trade in one binary: each row runs the same
+// workload through VebLayout::kLegacyNode (the pre-word node-structured
+// bottom, kept one release as the baseline) and VebLayout::kWordBlock,
+// interleaved rep by rep so machine drift cancels, medians reported.
+//
+// Rows: {insert, succ, batch_insert} x {dense, sparse} x universes
+// (default 2^12, 2^16, 2^20). Dense fills half the universe, sparse 1/64th.
+// A memory section reports arena payload bytes per stored key for both
+// layouts (plus a std::set reference via TrackingAllocator), and the
+// zero-leaf-allocation property at universe 4096 is checked directly.
+//
+// Flags: --universes 4096,65536,1048576, --reps N (default 5), --out FILE
+// (BENCH_micro_veb.json records), --strict (exit 2 unless every word-vs-
+// node insert/succ median improves >= 40% and the zero-alloc check holds;
+// off by default so tiny smoke runs don't fail on noise).
+//
+// Single-core caveat: per-op medians are the signal here — every measured
+// op is a sequential point op or a one-batch call, so the numbers are
+// meaningful on any host, but they say nothing about multi-thread scaling.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "parlis/parallel/random.hpp"
+#include "parlis/util/arena.hpp"
+#include "parlis/util/timer.hpp"
+#include "parlis/util/tracking_allocator.hpp"
 #include "parlis/veb/veb_tree.hpp"
+
+using parlis::AllocStats;
+using parlis::Arena;
+using parlis::TrackingAllocator;
+using parlis::VebLayout;
+using parlis::VebTree;
 
 namespace {
 
-constexpr uint64_t kUniverse = uint64_t{1} << 24;
+uint64_t g_sink = 0;  // defeats dead-code elimination of query loops
 
-std::vector<uint64_t> make_keys(int64_t m, uint64_t seed) {
-  std::vector<uint64_t> keys(m);
-  for (int64_t i = 0; i < m; i++) {
-    keys[i] = parlis::uniform(seed, i, kUniverse);
+struct Workload {
+  uint64_t universe;
+  const char* density;
+  std::vector<uint64_t> sorted;    // distinct keys, ascending
+  std::vector<uint64_t> shuffled;  // same keys, hash order (insert stream)
+  std::vector<uint64_t> probes;    // stored keys, hash order (succ stream)
+};
+
+Workload make_workload(uint64_t universe, bool dense, uint64_t seed) {
+  Workload w;
+  w.universe = universe;
+  w.density = dense ? "dense" : "sparse";
+  uint64_t target = dense ? universe / 2 : std::max<uint64_t>(universe / 64, 32);
+  std::vector<uint64_t> draws(target * 2);
+  for (uint64_t i = 0; i < draws.size(); i++) {
+    draws[i] = parlis::uniform(seed, i, universe);
   }
-  std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-  return keys;
+  std::sort(draws.begin(), draws.end());
+  draws.erase(std::unique(draws.begin(), draws.end()), draws.end());
+  if (draws.size() > target) draws.resize(target);
+  w.sorted = draws;
+  w.shuffled = draws;
+  std::sort(w.shuffled.begin(), w.shuffled.end(), [](uint64_t a, uint64_t b) {
+    return parlis::hash64(a) < parlis::hash64(b);
+  });
+  // Successor probes are the stored keys themselves (hash order): the
+  // canonical "walk the set via succ" workload. Uniform-random probes mostly
+  // resolve at the root via the min/max shortcuts and so measure neither
+  // layout; probing at members forces a full-depth descent.
+  w.probes = w.shuffled;
+  return w;
 }
 
-void BM_VebBatchInsert(benchmark::State& state) {
-  auto keys = make_keys(state.range(0), 1);
-  for (auto _ : state) {
-    parlis::VebTree t(kUniverse);
-    t.batch_insert(keys);
-    benchmark::DoNotOptimize(t.size());
-  }
-  state.SetItemsProcessed(state.iterations() * keys.size());
+double median_ms(std::vector<double> seconds) {
+  std::sort(seconds.begin(), seconds.end());
+  return seconds[(seconds.size() - 1) / 2] * 1e3;
 }
-BENCHMARK(BM_VebBatchInsert)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
 
-void BM_VebPointInsertLoop(benchmark::State& state) {
-  auto keys = make_keys(state.range(0), 1);
-  for (auto _ : state) {
-    parlis::VebTree t(kUniverse);
-    for (uint64_t k : keys) t.insert(k);
-    benchmark::DoNotOptimize(t.size());
-  }
-  state.SetItemsProcessed(state.iterations() * keys.size());
-}
-BENCHMARK(BM_VebPointInsertLoop)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
-
-void BM_VebBatchDelete(benchmark::State& state) {
-  auto keys = make_keys(state.range(0), 2);
-  for (auto _ : state) {
-    state.PauseTiming();
-    parlis::VebTree t(kUniverse);
-    t.batch_insert(keys);
-    state.ResumeTiming();
-    t.batch_delete(keys);
-    benchmark::DoNotOptimize(t.size());
-  }
-  state.SetItemsProcessed(state.iterations() * keys.size());
-}
-BENCHMARK(BM_VebBatchDelete)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
-
-void BM_VebRange(benchmark::State& state) {
-  auto keys = make_keys(state.range(0), 3);
-  parlis::VebTree t(kUniverse);
-  t.batch_insert(keys);
-  for (auto _ : state) {
-    auto out = t.range(0, kUniverse - 1);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * keys.size());
-}
-BENCHMARK(BM_VebRange)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
-
-void BM_VebSuccLoop(benchmark::State& state) {
-  auto keys = make_keys(state.range(0), 3);
-  parlis::VebTree t(kUniverse);
-  t.batch_insert(keys);
-  for (auto _ : state) {
-    std::vector<uint64_t> out;
-    out.reserve(keys.size());
-    auto cur = t.min();
-    while (cur) {
-      out.push_back(*cur);
-      cur = t.succ_gt(*cur);
+// Runs the two layouts interleaved (node, word, node, word, ...) and
+// returns {node_median_ms, word_median_ms}.
+template <typename Fn>
+std::pair<double, double> interleaved(int reps, const Fn& fn) {
+  std::vector<double> node_ts, word_ts;
+  for (int r = 0; r < reps; r++) {
+    {
+      parlis::Timer t;
+      fn(VebLayout::kLegacyNode);
+      node_ts.push_back(t.elapsed());
     }
-    benchmark::DoNotOptimize(out.data());
+    {
+      parlis::Timer t;
+      fn(VebLayout::kWordBlock);
+      word_ts.push_back(t.elapsed());
+    }
   }
-  state.SetItemsProcessed(state.iterations() * keys.size());
+  return {median_ms(node_ts), median_ms(word_ts)};
 }
-BENCHMARK(BM_VebSuccLoop)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
 
-void BM_VebPredQuery(benchmark::State& state) {
-  auto keys = make_keys(1 << 18, 4);
-  parlis::VebTree t(kUniverse);
-  t.batch_insert(keys);
-  uint64_t q = 0;
-  for (auto _ : state) {
-    q = parlis::hash64(q) % kUniverse;
-    benchmark::DoNotOptimize(t.pred_lt(q));
+struct Row {
+  const char* op;
+  uint64_t universe;
+  const char* density;
+  int64_t n;
+  int64_t ops;  // n * rounds: total ops timed per rep
+  double node_ms;
+  double word_ms;
+  double improvement_pct() const {
+    return node_ms > 0 ? (node_ms - word_ms) / node_ms * 100.0 : 0.0;
   }
-}
-BENCHMARK(BM_VebPredQuery);
-
-void BM_StdSetPredQuery(benchmark::State& state) {
-  auto keys = make_keys(1 << 18, 4);
-  std::set<uint64_t> t(keys.begin(), keys.end());
-  uint64_t q = 0;
-  for (auto _ : state) {
-    q = parlis::hash64(q) % kUniverse;
-    auto it = t.lower_bound(q);
-    benchmark::DoNotOptimize(it != t.begin() ? *std::prev(it) : 0);
-  }
-}
-BENCHMARK(BM_StdSetPredQuery);
+  double per_op_ns(double ms) const { return ops > 0 ? ms * 1e6 / ops : 0.0; }
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  parlis::bench::Flags flags(argc, argv);
+  int reps = static_cast<int>(flags.get("reps", 5));
+  bool strict = flags.has("strict");
+  std::string universes_arg = flags.get_str("universes", "4096,65536,1048576");
+  parlis::bench::BenchJson json(flags.get_str("out", ""));
+
+  std::vector<Row> rows;
+  std::printf("%-13s %10s %-7s %9s | %11s %11s | %8s\n", "op", "universe",
+              "density", "n", "node ms", "word ms", "gain %");
+
+  uint64_t wseed = 90001;
+  for (int u_int : parlis::bench::parse_int_list(universes_arg)) {
+    uint64_t universe = static_cast<uint64_t>(u_int);
+    for (bool dense : {true, false}) {
+      Workload w = make_workload(universe, dense, wseed++);
+      int64_t n = static_cast<int64_t>(w.sorted.size());
+      // Loop the workload until each timed rep covers >= 2^17 ops, so
+      // small-n rows measure kernels rather than timer + scheduler noise
+      // (sub-ms reps showed +-20% run-to-run swings on the 1-core host).
+      int64_t rounds = std::max<int64_t>(1, (int64_t{1} << 17) / n);
+      int64_t ops = n * rounds;
+      Arena pool;  // reused (reset) across rounds: no chunk churn in-timer
+
+      // Point inserts, hash order (tree rebuilt every round).
+      auto [ins_node, ins_word] = interleaved(reps, [&](VebLayout layout) {
+        for (int64_t rd = 0; rd < rounds; rd++) {
+          pool.reset();
+          VebTree t(w.universe, &pool, layout);
+          for (uint64_t k : w.shuffled) t.insert(k);
+          g_sink += *t.max();
+        }
+      });
+      rows.push_back(
+          {"insert", universe, w.density, n, ops, ins_node, ins_word});
+
+      // Successor queries over a pre-filled tree.
+      VebTree node_tree(w.universe, VebLayout::kLegacyNode);
+      VebTree word_tree(w.universe, VebLayout::kWordBlock);
+      node_tree.batch_insert(w.sorted);
+      word_tree.batch_insert(w.sorted);
+      auto [succ_node, succ_word] = interleaved(reps, [&](VebLayout layout) {
+        const VebTree& t =
+            layout == VebLayout::kWordBlock ? word_tree : node_tree;
+        uint64_t sink = 0;
+        for (int64_t rd = 0; rd < rounds; rd++) {
+          for (uint64_t p : w.probes) {
+            auto s = t.succ_gt(p);
+            sink += s ? *s : 0;
+          }
+        }
+        g_sink += sink;
+      });
+      rows.push_back(
+          {"succ", universe, w.density, n, ops, succ_node, succ_word});
+
+      // One sorted batch into an empty tree per round (Alg. 4).
+      auto [bi_node, bi_word] = interleaved(reps, [&](VebLayout layout) {
+        for (int64_t rd = 0; rd < rounds; rd++) {
+          pool.reset();
+          VebTree t(w.universe, &pool, layout);
+          t.batch_insert(w.sorted);
+          g_sink += *t.max();
+        }
+      });
+      rows.push_back(
+          {"batch_insert", universe, w.density, n, ops, bi_node, bi_word});
+
+      for (size_t i = rows.size() - 3; i < rows.size(); i++) {
+        const Row& r = rows[i];
+        std::printf("%-13s %10" PRIu64 " %-7s %9" PRId64
+                    " | %11.3f %11.3f | %7.1f%%\n",
+                    r.op, r.universe, r.density, r.n, r.node_ms, r.word_ms,
+                    r.improvement_pct());
+      }
+
+      // Memory: arena payload bytes per stored key after a batch fill.
+      auto fill_bytes = [&](VebLayout layout) {
+        Arena pool;
+        VebTree t(w.universe, &pool, layout);
+        t.batch_insert(w.sorted);
+        g_sink += *t.max();
+        return pool.bytes_allocated();
+      };
+      size_t node_bytes = fill_bytes(VebLayout::kLegacyNode);
+      size_t word_bytes = fill_bytes(VebLayout::kWordBlock);
+      AllocStats set_stats;
+      size_t set_bytes = 0;
+      {
+        std::set<uint64_t, std::less<uint64_t>, TrackingAllocator<uint64_t>>
+            ref{TrackingAllocator<uint64_t>(&set_stats)};
+        for (uint64_t k : w.sorted) ref.insert(k);
+        set_bytes = static_cast<size_t>(set_stats.live_bytes.load());
+      }
+      std::printf("%-13s %10" PRIu64 " %-7s %9" PRId64
+                  " | node %.1f B/key, word %.1f B/key, std::set %.1f B/key\n",
+                  "memory", universe, w.density, n,
+                  static_cast<double>(node_bytes) / n,
+                  static_cast<double>(word_bytes) / n,
+                  static_cast<double>(set_bytes) / n);
+
+      if (json.enabled()) {
+        for (size_t i = rows.size() - 3; i < rows.size(); i++) {
+          const Row& r = rows[i];
+          for (bool word : {false, true}) {
+            double ms = word ? r.word_ms : r.node_ms;
+            parlis::bench::JsonRecord rec;
+            rec.field("bench", "micro_veb")
+                .field("op", r.op)
+                .field("universe", r.universe)
+                .field("density", r.density)
+                .field("n", r.n)
+                .field("variant", word ? "word" : "node")
+                .field("median_ms", ms)
+                .field("per_op_ns", r.per_op_ns(ms));
+            if (word) rec.field("improvement_pct", r.improvement_pct());
+            json.add(rec);
+          }
+        }
+        const size_t bytes[] = {node_bytes, word_bytes, set_bytes};
+        const char* variants[] = {"node", "word", "std_set"};
+        for (int i = 0; i < 3; i++) {
+          parlis::bench::JsonRecord rec;
+          rec.field("bench", "micro_veb")
+              .field("op", "memory")
+              .field("universe", universe)
+              .field("density", w.density)
+              .field("n", n)
+              .field("variant", variants[i])
+              .field("bytes", static_cast<uint64_t>(bytes[i]))
+              .field("bytes_per_key", static_cast<double>(bytes[i]) / n);
+          json.add(rec);
+        }
+      }
+    }
+  }
+
+  // Zero-leaf-allocation property: at universe 4096 under the word layout,
+  // the single words array faulted in by the first insert is the only
+  // allocator traffic the whole key churn ever causes.
+  bool zero_alloc_ok;
+  {
+    Arena pool;
+    VebTree t(4096, &pool, VebLayout::kWordBlock);
+    t.insert(1234);
+    size_t after_first = pool.bytes_allocated();
+    for (int i = 0; i < 4096; i++) t.insert(parlis::uniform(777, i, 4096));
+    zero_alloc_ok = pool.bytes_allocated() == after_first;
+  }
+  std::printf("zero_leaf_allocations(universe=4096, word): %s\n",
+              zero_alloc_ok ? "PASS" : "FAIL");
+
+  // Acceptance: word insert/succ medians beat the node layout by >= 40% at
+  // every measured universe (all <= 2^20 by default). Reported per row plus
+  // a pass count: on the 1-core host the sparse mid-universe succ rows land
+  // at 20-35% (both layouts fit in cache there, compressing the ratio), so
+  // the count keeps the record honest instead of one opaque boolean.
+  bool accept = zero_alloc_ok;
+  int rows_gated = 0, rows_passed = 0;
+  for (const Row& r : rows) {
+    if (std::string(r.op) == "batch_insert") continue;
+    bool ok = r.improvement_pct() >= 40.0;
+    rows_gated++;
+    rows_passed += ok ? 1 : 0;
+    std::printf("acceptance %-7s U=%-8" PRIu64 " %-7s: %+6.1f%% (>= 40%%) %s\n",
+                r.op, r.universe, r.density, r.improvement_pct(),
+                ok ? "PASS" : "FAIL");
+    accept = accept && ok;
+  }
+  if (json.enabled()) {
+    parlis::bench::JsonRecord rec;
+    rec.field("bench", "micro_veb")
+        .field("op", "acceptance")
+        .field("zero_leaf_allocations", zero_alloc_ok ? 1 : 0)
+        .field("rows_ge_40pct", rows_passed)
+        .field("rows_gated", rows_gated)
+        .field("all_word_gains_ge_40pct", accept ? 1 : 0);
+    json.add(rec);
+  }
+  json.write();
+  if (g_sink == 42) std::printf("sink\n");  // keep g_sink observable
+  return strict && !accept ? 2 : 0;
+}

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "parlis/parallel/worker_slots.hpp"
+#include "parlis/util/tracking_allocator.hpp"
 
 namespace parlis {
 
@@ -40,8 +41,14 @@ class Arena {
  public:
   static constexpr size_t kDefaultChunkBytes = size_t{1} << 16;  // 64KB
 
-  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes)
-      : chunk_bytes_(chunk_bytes) {}
+  /// `stats`, when given, receives every system chunk allocation/release
+  /// the arena performs (must outlive the arena). Payload accounting —
+  /// bytes actually handed to callers — is always on via bytes_allocated().
+  explicit Arena(size_t chunk_bytes = kDefaultChunkBytes,
+                 AllocStats* stats = nullptr)
+      : chunk_bytes_(chunk_bytes), stats_(stats) {}
+
+  ~Arena() { report_chunks_freed(); }
 
   // Moved-from arenas own no memory and no live objects; they may be
   // destroyed, or reused (allocations refill from fresh chunks). Moves must
@@ -49,13 +56,18 @@ class Arena {
   Arena(Arena&& o) noexcept { *this = std::move(o); }
   Arena& operator=(Arena&& o) noexcept {
     if (this != &o) {
+      report_chunks_freed();  // this arena's previous chunks are released
       chunk_bytes_ = o.chunk_bytes_;
       reserved_bytes_ = o.reserved_bytes_;
+      oversized_bytes_ = o.oversized_bytes_;
+      stats_ = o.stats_;
       slots_ = std::move(o.slots_);
       chunks_ = std::move(o.chunks_);
       reuse_ = o.reuse_;
       o.reserved_bytes_ = 0;
+      o.oversized_bytes_ = 0;
       o.reuse_ = 0;
+      o.stats_ = nullptr;
     }
     return *this;
   }
@@ -68,6 +80,7 @@ class Arena {
     uintptr_t p = (s.cur + (align - 1)) & ~uintptr_t(align - 1);
     if (p + bytes > s.end) return alloc_slow(s, bytes, align);
     s.cur = p + bytes;
+    s.used += bytes;
     return reinterpret_cast<void*>(p);
   }
 
@@ -106,6 +119,17 @@ class Arena {
     return reserved_bytes_;
   }
 
+  /// Payload bytes handed out to callers since construction (or the last
+  /// reset): the live-structure footprint, as opposed to reserved_bytes()'s
+  /// chunk reservation. Excludes alignment padding and unused chunk tails.
+  /// Exact when no allocation runs concurrently with the call.
+  size_t bytes_allocated() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    size_t total = oversized_bytes_;
+    slots_.for_each([&](const Slot& s) { total += s.used; });
+    return total;
+  }
+
   /// Abandons every live allocation and recycles the chunks: subsequent
   /// allocations refill from the retained chunks (first fit by size) and
   /// only hit the system allocator once those run out, so rebuilding a
@@ -116,12 +140,14 @@ class Arena {
     std::lock_guard<std::mutex> lk(mu_);
     slots_.for_each([](Slot& s) { s = Slot{}; });
     reuse_ = 0;
+    oversized_bytes_ = 0;
   }
 
  private:
   struct alignas(64) Slot {
     uintptr_t cur = 0;
     uintptr_t end = 0;
+    size_t used = 0;  // payload bytes handed out through this slot
   };
 
   struct Chunk {
@@ -142,6 +168,7 @@ class Arena {
     chunks_.push_back(Chunk{std::unique_ptr<std::byte[]>(new std::byte[need]),
                             need});
     reserved_bytes_ += need;
+    if (stats_) stats_->on_alloc(need);
     std::swap(chunks_.back(), chunks_[reuse_]);
     return reuse_++;
   }
@@ -151,6 +178,7 @@ class Arena {
     // Oversized request: dedicated chunk, the worker's bump region is kept.
     if (bytes + align > chunk_bytes_ / 2) {
       const Chunk& c = chunks_[take_chunk(bytes + align)];
+      oversized_bytes_ += bytes;
       uintptr_t p = reinterpret_cast<uintptr_t>(c.mem.get());
       return reinterpret_cast<void*>((p + (align - 1)) & ~uintptr_t(align - 1));
     }
@@ -159,11 +187,20 @@ class Arena {
     s.end = s.cur + c.size;
     uintptr_t p = (s.cur + (align - 1)) & ~uintptr_t(align - 1);
     s.cur = p + bytes;
+    s.used += bytes;
     return reinterpret_cast<void*>(p);
   }
 
+  // Reports every owned chunk as released (destruction / move-assign-over).
+  void report_chunks_freed() {
+    if (!stats_) return;
+    for (const Chunk& c : chunks_) stats_->on_free(c.size);
+  }
+
   size_t chunk_bytes_ = kDefaultChunkBytes;
-  size_t reserved_bytes_ = 0;  // guarded by mu_
+  size_t reserved_bytes_ = 0;   // guarded by mu_
+  size_t oversized_bytes_ = 0;  // guarded by mu_; payload via dedicated chunks
+  AllocStats* stats_ = nullptr;
   LazyWorkerSlots<Slot> slots_;
   mutable std::mutex mu_;
   std::vector<Chunk> chunks_;  // guarded by mu_; [0, reuse_) handed out

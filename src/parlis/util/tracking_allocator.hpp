@@ -1,0 +1,92 @@
+// Injectable allocation accounting: a stats sink plus a std-compatible
+// allocator that reports into it.
+//
+// The point is to make memory claims measurable instead of anecdotal. The
+// vEB word-layout work, for instance, asserts "zero leaf-node allocations
+// for universes <= 4096" — a claim about allocator traffic, which only a
+// tracking layer can confirm. AllocStats is the sink; it can be handed to
+// an Arena (which reports its system chunk traffic) or wrapped around any
+// std container via TrackingAllocator<T>.
+//
+// Counters are atomics with relaxed ordering: totals are exact whenever the
+// readers quiesce writers (the test/bench pattern), and the peak is a
+// monotonic CAS so concurrent allocators never under-report it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace parlis {
+
+/// Shared sink for allocation events. Plain-old counters; safe to report
+/// into from any thread.
+struct AllocStats {
+  std::atomic<int64_t> live_bytes{0};   // currently allocated
+  std::atomic<int64_t> peak_bytes{0};   // high-water mark of live_bytes
+  std::atomic<int64_t> total_bytes{0};  // cumulative bytes ever allocated
+  std::atomic<int64_t> allocations{0};  // cumulative allocation count
+
+  void on_alloc(size_t bytes) {
+    int64_t b = static_cast<int64_t>(bytes);
+    total_bytes.fetch_add(b, std::memory_order_relaxed);
+    allocations.fetch_add(1, std::memory_order_relaxed);
+    int64_t live = live_bytes.fetch_add(b, std::memory_order_relaxed) + b;
+    int64_t peak = peak_bytes.load(std::memory_order_relaxed);
+    while (live > peak && !peak_bytes.compare_exchange_weak(
+                              peak, live, std::memory_order_relaxed)) {
+    }
+  }
+
+  void on_free(size_t bytes) {
+    live_bytes.fetch_sub(static_cast<int64_t>(bytes),
+                         std::memory_order_relaxed);
+  }
+
+  void reset() {
+    live_bytes.store(0, std::memory_order_relaxed);
+    peak_bytes.store(0, std::memory_order_relaxed);
+    total_bytes.store(0, std::memory_order_relaxed);
+    allocations.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// std-allocator adaptor reporting every allocate/deallocate into an
+/// AllocStats. The stats object must outlive every container using the
+/// allocator. Stateful, so containers with different sinks compare unequal
+/// (per the allocator requirements, equality == interchangeable storage —
+/// storage here is the global heap, so equality ignores the sink).
+template <typename T>
+class TrackingAllocator {
+ public:
+  using value_type = T;
+
+  explicit TrackingAllocator(AllocStats* stats) : stats_(stats) {}
+  template <typename U>
+  TrackingAllocator(const TrackingAllocator<U>& o) : stats_(o.stats()) {}
+
+  T* allocate(size_t n) {
+    if (stats_) stats_->on_alloc(n * sizeof(T));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) {
+    if (stats_) stats_->on_free(n * sizeof(T));
+    ::operator delete(p);
+  }
+
+  AllocStats* stats() const { return stats_; }
+
+ private:
+  AllocStats* stats_;
+};
+
+template <typename T, typename U>
+bool operator==(const TrackingAllocator<T>&, const TrackingAllocator<U>&) {
+  return true;  // all instances share the global heap
+}
+template <typename T, typename U>
+bool operator!=(const TrackingAllocator<T>&, const TrackingAllocator<U>&) {
+  return false;
+}
+
+}  // namespace parlis

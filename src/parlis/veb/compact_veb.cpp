@@ -3,31 +3,48 @@
 #include <bit>
 #include <cassert>
 
+#include "parlis/veb/veb_tree.hpp"  // VebLayout / default_veb_layout
+#include "parlis/veb/veb_words.hpp"
+
 namespace parlis {
 
 namespace {
 constexpr uint64_t kNone = CompactVebTree::kNone;
-constexpr int kBaseBits = 6;
+constexpr int kTinyBits = 6;   // universe <= 2^6: one bitmask word
+constexpr int kWordBits = 12;  // word layout: universe <= 2^12 is a block
 }  // namespace
 
-// Same recursive structure as VebTree (min/max stored exclusively, 64-bit
-// bitmask base case) but clusters live in an unordered_map keyed by high
-// bits — only nonempty clusters exist, so space is O(#keys).
+// Same recursive structure as VebTree (min/max stored exclusively, bit-packed
+// base case) but clusters live in an unordered_map keyed by high bits — only
+// nonempty clusters exist, so space is O(#keys).
+//
+// The recursion bottoms out like VebTree's (veb_words.hpp): subtrees with
+// universe <= 2^12 hold their whole key set in a flat word block (`mask` as
+// the summary word, `words` lazily heap-allocated), which strips the two
+// bottom node levels — and their unordered_map instances — from every key
+// path. Tiny subtrees (universe <= 64) stay a single mask. The pre-word
+// bottom is available via VebLayout::kLegacyNode (test-only, one release).
 struct CompactVebTree::Node {
   uint8_t bits;
   uint8_t lo_bits;
+  uint8_t base_bits;  // subtrees with bits <= base_bits are bit-packed
   uint64_t min = kNone;
   uint64_t max = kNone;
-  uint64_t mask = 0;  // base case
+  uint64_t mask = 0;  // tiny: the key set; word: the summary word
+  std::unique_ptr<uint64_t[]> words;  // word base only: 2^(bits-6), lazy
   std::unique_ptr<Node> summary;
   std::unordered_map<uint64_t, std::unique_ptr<Node>> clusters;
 
-  explicit Node(int b)
-      : bits(static_cast<uint8_t>(b)), lo_bits(static_cast<uint8_t>(b / 2)) {}
+  Node(int b, int base_b)
+      : bits(static_cast<uint8_t>(b)),
+        lo_bits(static_cast<uint8_t>(b / 2)),
+        base_bits(static_cast<uint8_t>(base_b)) {}
 
-  bool base() const { return bits <= kBaseBits; }
+  bool base() const { return bits <= base_bits; }
+  bool tiny() const { return bits <= kTinyBits; }
   bool is_empty() const { return min == kNone; }
   int hi_bits() const { return bits - lo_bits; }
+  uint64_t nwords() const { return uint64_t{1} << (bits - kTinyBits); }
   uint64_t high(uint64_t x) const { return x >> lo_bits; }
   uint64_t low(uint64_t x) const { return x & ((uint64_t{1} << lo_bits) - 1); }
   uint64_t index(uint64_t h, uint64_t l) const { return (h << lo_bits) | l; }
@@ -38,22 +55,74 @@ struct CompactVebTree::Node {
   }
   Node* ensure_cluster(uint64_t h) {
     auto& slot = clusters[h];
-    if (!slot) slot = std::make_unique<Node>(lo_bits);
+    if (!slot) slot = std::make_unique<Node>(lo_bits, base_bits);
     return slot.get();
   }
   Node* ensure_summary() {
-    if (!summary) summary = std::make_unique<Node>(hi_bits());
+    if (!summary) summary = std::make_unique<Node>(hi_bits(), base_bits);
     return summary.get();
   }
   bool summary_empty() const { return !summary || summary->is_empty(); }
   void drop_cluster(uint64_t h) { clusters.erase(h); }  // reclaim space
+  uint64_t* ensure_words() {
+    if (!words) words = std::make_unique<uint64_t[]>(nwords());
+    return words.get();
+  }
 
+  // --- base-node kernels, mirroring VebTree::Node ---
+
+  bool base_contains(uint64_t x) const {
+    if (tiny()) return (mask >> x) & 1;
+    return words != nullptr && veb_words::block_contains(mask, words.get(), x);
+  }
+  uint64_t base_pred_lt(uint64_t x) const {
+    if (tiny()) return veb_words::word_pred_lt(mask, x);
+    if (!words) return kNone;
+    return veb_words::block_pred_lt(mask, words.get(), nwords(), x);
+  }
+  uint64_t base_succ_gt(uint64_t x) const {
+    if (tiny()) return veb_words::word_succ_gt(mask, x);
+    if (!words) return kNone;
+    return veb_words::block_succ_gt(mask, words.get(), x);
+  }
+  void base_insert(uint64_t x) {
+    if (tiny()) {
+      mask |= uint64_t{1} << x;
+      base_sync();
+      return;
+    }
+    veb_words::block_insert(mask, ensure_words(), x);
+    if (min == kNone) {
+      min = max = x;
+    } else {
+      if (x < min) min = x;
+      if (x > max) max = x;
+    }
+  }
+  void base_erase(uint64_t x) {
+    if (tiny()) {
+      mask &= ~(uint64_t{1} << x);
+      base_sync();
+      return;
+    }
+    if (!words) return;
+    veb_words::block_erase(mask, words.get(), x);
+    if (mask == 0) {
+      min = max = kNone;
+      return;
+    }
+    if (x == min) min = veb_words::block_min(mask, words.get());
+    if (x == max) max = veb_words::block_max(mask, words.get());
+  }
   void base_sync() {
     if (mask == 0) {
       min = max = kNone;
+    } else if (tiny()) {
+      min = veb_words::word_min(mask);
+      max = veb_words::word_max(mask);
     } else {
-      min = static_cast<uint64_t>(std::countr_zero(mask));
-      max = static_cast<uint64_t>(63 - std::countl_zero(mask));
+      min = veb_words::block_min(mask, words.get());
+      max = veb_words::block_max(mask, words.get());
     }
   }
 };
@@ -65,7 +134,7 @@ namespace {
 bool node_contains(const Node* v, uint64_t x) {
   while (true) {
     if (!v || v->is_empty()) return false;
-    if (v->base()) return (v->mask >> x) & 1;
+    if (v->base()) return v->base_contains(x);
     if (x == v->min || x == v->max) return true;
     const Node* c = v->cluster(v->high(x));
     if (!c) return false;
@@ -77,11 +146,7 @@ bool node_contains(const Node* v, uint64_t x) {
 
 uint64_t node_pred_lt(const Node* v, uint64_t x) {
   if (!v || v->is_empty()) return kNone;
-  if (v->base()) {
-    uint64_t below = x >= 64 ? v->mask : (v->mask & ((uint64_t{1} << x) - 1));
-    if (below == 0) return kNone;
-    return static_cast<uint64_t>(63 - std::countl_zero(below));
-  }
+  if (v->base()) return v->base_pred_lt(x);
   if (x <= v->min) return kNone;
   if (x > v->max) return v->max;
   uint64_t h = v->high(x), l = v->low(x);
@@ -96,11 +161,7 @@ uint64_t node_pred_lt(const Node* v, uint64_t x) {
 
 uint64_t node_succ_gt(const Node* v, uint64_t x) {
   if (!v || v->is_empty()) return kNone;
-  if (v->base()) {
-    uint64_t above = x >= 63 ? 0 : (v->mask & ~((uint64_t{2} << x) - 1));
-    if (above == 0) return kNone;
-    return static_cast<uint64_t>(std::countr_zero(above));
-  }
+  if (v->base()) return v->base_succ_gt(x);
   if (x >= v->max) return kNone;
   if (x < v->min) return v->min;
   uint64_t h = v->high(x), l = v->low(x);
@@ -113,21 +174,23 @@ uint64_t node_succ_gt(const Node* v, uint64_t x) {
   return v->max;
 }
 
-void node_insert(Node* v, uint64_t x) {
+// Fused membership test + insert (returns whether x was added), mirroring
+// VebTree: duplicates fall out mid-descent, so insert() is one traversal.
+bool node_insert(Node* v, uint64_t x) {
   if (v->base()) {
-    v->mask |= uint64_t{1} << x;
-    v->base_sync();
-    return;
+    if (v->base_contains(x)) return false;
+    v->base_insert(x);
+    return true;
   }
   if (v->is_empty()) {
     v->min = v->max = x;
-    return;
+    return true;
   }
-  if (x == v->min || x == v->max) return;
+  if (x == v->min || x == v->max) return false;
   if (v->min == v->max) {
     if (x < v->min) v->min = x;
     else v->max = x;
-    return;
+    return true;
   }
   if (x < v->min) std::swap(x, v->min);
   else if (x > v->max) std::swap(x, v->max);
@@ -135,32 +198,33 @@ void node_insert(Node* v, uint64_t x) {
   Node* c = v->ensure_cluster(h);
   if (c->is_empty()) {
     if (c->base()) {
-      c->mask = uint64_t{1} << l;
-      c->base_sync();
+      c->base_insert(l);
     } else {
       c->min = c->max = l;
     }
     node_insert(v->ensure_summary(), h);
-  } else {
-    node_insert(c, l);
+    return true;
   }
+  return node_insert(c, l);
 }
 
-void node_erase(Node* v, uint64_t x) {
-  if (!v || v->is_empty()) return;
+// Fused membership test + erase (returns whether x was removed).
+bool node_erase(Node* v, uint64_t x) {
+  if (!v || v->is_empty()) return false;
   if (v->base()) {
-    v->mask &= ~(uint64_t{1} << x);
-    v->base_sync();
-    return;
+    if (!v->base_contains(x)) return false;
+    v->base_erase(x);
+    return true;
   }
   if (v->min == v->max) {
-    if (x == v->min) v->min = v->max = kNone;
-    return;
+    if (x != v->min) return false;
+    v->min = v->max = kNone;
+    return true;
   }
   if (x == v->min) {
     if (v->summary_empty()) {
       v->min = v->max;
-      return;
+      return true;
     }
     uint64_t h0 = v->summary->min;
     uint64_t l0 = v->cluster(h0)->min;
@@ -170,12 +234,12 @@ void node_erase(Node* v, uint64_t x) {
       v->drop_cluster(h0);
     }
     v->min = v->index(h0, l0);
-    return;
+    return true;
   }
   if (x == v->max) {
     if (v->summary_empty()) {
       v->max = v->min;
-      return;
+      return true;
     }
     uint64_t h1 = v->summary->max, l1 = v->cluster(h1)->max;
     node_erase(v->cluster(h1), l1);
@@ -184,15 +248,16 @@ void node_erase(Node* v, uint64_t x) {
       v->drop_cluster(h1);
     }
     v->max = v->index(h1, l1);
-    return;
+    return true;
   }
   Node* c = v->cluster(v->high(x));
-  if (!c) return;
-  node_erase(c, v->low(x));
+  if (!c) return false;
+  if (!node_erase(c, v->low(x))) return false;
   if (c->is_empty()) {
     node_erase(v->summary.get(), v->high(x));
     v->drop_cluster(v->high(x));
   }
+  return true;
 }
 
 int64_t count_nodes(const Node* v) {
@@ -208,7 +273,9 @@ CompactVebTree::CompactVebTree(uint64_t universe) : universe_(universe) {
   assert(universe >= 1);
   int bits = 1;
   while (bits < 63 && (uint64_t{1} << bits) < universe) bits++;
-  root_ = std::make_unique<Node>(bits);
+  int base_bits =
+      default_veb_layout() == VebLayout::kLegacyNode ? kTinyBits : kWordBits;
+  root_ = std::make_unique<Node>(bits, base_bits);
 }
 
 CompactVebTree::~CompactVebTree() = default;
@@ -245,15 +312,13 @@ std::optional<uint64_t> CompactVebTree::succ_gt(uint64_t x) const {
 
 void CompactVebTree::insert(uint64_t x) {
   assert(x < universe_);
-  if (contains(x)) return;
-  node_insert(root_.get(), x);
-  size_++;
+  if (x >= universe_) return;  // keep the release no-op contract
+  if (node_insert(root_.get(), x)) size_++;
 }
 
 void CompactVebTree::erase(uint64_t x) {
-  if (!contains(x)) return;
-  node_erase(root_.get(), x);
-  size_--;
+  if (x >= universe_) return;
+  if (node_erase(root_.get(), x)) size_--;
 }
 
 int64_t CompactVebTree::allocated_nodes() const {

@@ -87,8 +87,44 @@ std::vector<uint64_t> MonoVeb::covered_by(const Point* batch,
   return out;
 }
 
+void MonoVeb::insert_staircase_seq(const Point* batch, int64_t m) {
+  // best = max accepted score so far. An accepted point's score exceeds
+  // every earlier batch score that survived, so `score <= best` is the
+  // batch-internal prefix-max filter of Alg. 3 step 2a; the tree-pred check
+  // is step 2b (the staircase invariant holds between iterations, so the
+  // predecessor carries the max tree score below the key — including keys
+  // whose original predecessor was erased, because erasers dominate what
+  // they erase).
+  int64_t best = INT64_MIN;
+  for (int64_t i = 0; i < m; i++) {
+    const Point& p = batch[i];
+    if (p.score <= best) continue;
+    auto pred = keys_.pred_lt(p.key);
+    if (pred && score_[*pred] >= p.score) continue;
+    best = p.score;
+    // CoveredBy for a point: the run of successors with score <= p.score
+    // (contiguous by staircase monotonicity).
+    while (auto nxt = keys_.succ_gt(p.key)) {
+      if (score_[*nxt] > p.score) break;
+      keys_.erase(*nxt);
+    }
+    keys_.insert(p.key);
+    score_[p.key] = p.score;
+  }
+}
+
 void MonoVeb::insert_staircase(const Point* batch, int64_t m) {
   if (m == 0) return;
+  // Small batches — and trees whose whole key set is one word block, where
+  // point ops are a few find-first-set instructions — skip the batch
+  // machinery entirely: the refine/covered_by/batch_delete/batch_insert
+  // pipeline allocates several vectors per call, which dominates when m is
+  // a handful of points (the common case in the lower Range-vEB levels).
+  constexpr int64_t kSeqBatch = 64;
+  if (m <= kSeqBatch || keys_.universe() <= 4096) {
+    insert_staircase_seq(batch, m);
+    return;
+  }
   // Step 2a: drop points covered inside the batch (keep strictly increasing
   // scores along keys) — a prefix-max filter.
   std::vector<int64_t> prefix(m);

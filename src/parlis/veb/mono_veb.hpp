@@ -78,6 +78,15 @@ class MonoVeb {
   // then binary-searches the key space.
   uint64_t find_index(int64_t limit, uint64_t s, uint64_t e) const;
 
+  // Point-op Update for small batches (and small-universe trees, where the
+  // keys bottom out in one word block): the same staircase semantics as the
+  // batch path, walked key-ascending with pred/succ/erase/insert point ops —
+  // zero vector allocations. Equivalent because a batch point is covered
+  // iff an accepted earlier batch point or the current tree predecessor
+  // dominates it, and every tree point the batch covers is a contiguous
+  // score_<=p run of successors of some accepted point.
+  void insert_staircase_seq(const Point* batch, int64_t m);
+
   std::unique_ptr<Arena> own_pool_;  // null when sharing a pool
   VebTree keys_;
   int64_t* score_;  // score_[key], valid while key in keys_; pool-owned

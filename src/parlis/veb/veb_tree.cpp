@@ -1,6 +1,7 @@
 #include "parlis/veb/veb_tree.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstdio>
@@ -9,69 +10,39 @@
 
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/primitives.hpp"
+#include "parlis/veb/veb_words.hpp"
 
 namespace parlis {
 
 namespace {
 constexpr uint64_t kNone = VebTree::kNone;
-constexpr int kBaseBits = 6;  // subtrees with universe <= 2^6 are a bitmask
+
+static_assert(veb_words::kWordNone == VebTree::kNone,
+              "word kernels and VebTree must share the none sentinel");
+
+std::atomic<uint8_t> g_default_layout{
+    static_cast<uint8_t>(VebLayout::kWordBlock)};
+
+int base_bits_for(VebLayout layout) {
+  return layout == VebLayout::kLegacyNode ? VebTree::Node::kTinyBits
+                                          : VebTree::Node::kWordBits;
+}
 }  // namespace
+
+void set_default_veb_layout(VebLayout layout) {
+  g_default_layout.store(static_cast<uint8_t>(layout),
+                         std::memory_order_relaxed);
+}
+
+VebLayout default_veb_layout() {
+  return static_cast<VebLayout>(
+      g_default_layout.load(std::memory_order_relaxed));
+}
 
 // ---------------------------------------------------------------- layout ---
 
-// Trivially destructible: nodes and cluster tables live in the owning
-// VebTree's arena and are freed wholesale with it.
-struct VebTree::Node {
-  uint8_t bits;      // universe 2^bits
-  uint8_t lo_bits;   // floor(bits/2);  hi_bits = bits - lo_bits
-  uint8_t hi_bits;
-  uint64_t min = kNone;  // kNone <=> empty
-  uint64_t max = kNone;
-  uint64_t mask = 0;  // base case only (bits <= kBaseBits): all keys
-  Node* summary = nullptr;    // universe 2^hi_bits
-  Node** clusters = nullptr;  // 2^hi_bits entries, lazy (arena-allocated)
-
-  explicit Node(int b)
-      : bits(static_cast<uint8_t>(b)),
-        lo_bits(static_cast<uint8_t>(b / 2)),
-        hi_bits(static_cast<uint8_t>(b - b / 2)) {}
-
-  bool base() const { return bits <= kBaseBits; }
-  bool is_empty() const { return min == kNone; }
-  uint64_t high(uint64_t x) const { return x >> lo_bits; }
-  uint64_t low(uint64_t x) const { return x & ((uint64_t{1} << lo_bits) - 1); }
-  uint64_t index(uint64_t h, uint64_t l) const { return (h << lo_bits) | l; }
-
-  Node* cluster(uint64_t h) const { return clusters ? clusters[h] : nullptr; }
-  Node* ensure_cluster(uint64_t h, Arena& arena) {
-    if (!clusters) clusters = arena.create_array<Node*>(uint64_t{1} << hi_bits);
-    if (!clusters[h]) clusters[h] = arena.create<Node>(lo_bits);
-    return clusters[h];
-  }
-  Node* ensure_summary(Arena& arena) {
-    if (!summary) summary = arena.create<Node>(hi_bits);
-    return summary;
-  }
-  bool summary_empty() const { return !summary || summary->is_empty(); }
-
-  void base_sync_minmax() {
-    if (mask == 0) {
-      min = max = kNone;
-    } else {
-      min = static_cast<uint64_t>(std::countr_zero(mask));
-      max = static_cast<uint64_t>(63 - std::countl_zero(mask));
-    }
-  }
-  void make_singleton(uint64_t x) {
-    if (base()) {
-      mask |= uint64_t{1} << x;
-      base_sync_minmax();
-    } else {
-      min = max = x;
-    }
-  }
-};
-
+// The Node layout (and the inline base-root fast paths of the public point
+// ops) lives in veb_node.hpp; this file holds the recursive machinery.
 using Node = VebTree::Node;
 
 // ----------------------------------------------------- sequential lookups ---
@@ -81,7 +52,7 @@ namespace {
 bool node_contains(const Node* v, uint64_t x) {
   while (true) {
     if (!v || v->is_empty()) return false;
-    if (v->base()) return (v->mask >> x) & 1;
+    if (v->base()) return v->base_contains(x);
     if (x == v->min || x == v->max) return true;
     const Node* c = v->cluster(v->high(x));
     if (!c) return false;
@@ -91,83 +62,108 @@ bool node_contains(const Node* v, uint64_t x) {
   }
 }
 
+// The cluster descent is iterative with an accumulated high-bit prefix (the
+// descent is guaranteed to stay in-subtree once a cluster is entered, so no
+// post-recursion index composition is needed); only the summary fallback
+// recurses, on the strictly smaller summary tree.
 uint64_t node_pred_lt(const Node* v, uint64_t x) {
-  if (!v || v->is_empty()) return kNone;
-  if (v->base()) {
-    uint64_t below = x >= 64 ? v->mask
-                             : (v->mask & ((uint64_t{1} << x) - 1));
-    if (below == 0) return kNone;
-    return static_cast<uint64_t>(63 - std::countl_zero(below));
+  uint64_t prefix = 0;
+  while (true) {
+    if (!v || v->is_empty()) return kNone;
+    if (v->base()) {
+      uint64_t r = v->base_pred_lt(x);
+      return r == kNone ? kNone : prefix | r;
+    }
+    if (x <= v->min) return kNone;
+    if (x > v->max) return prefix | v->max;
+    // v->min < x <= v->max: look in the clusters, fall back to min.
+    uint64_t h = v->high(x), l = v->low(x);
+    const Node* c = v->cluster(h);
+    if (c && !c->is_empty() && c->min < l) {
+      prefix |= h << v->lo_bits;
+      v = c;
+      x = l;
+      continue;
+    }
+    // Summary fallback. One-node universes (<= 2^24 under the word
+    // layout, the lowest legacy level) have a base summary: dispatch its
+    // kernel directly instead of paying a recursive call to discover it.
+    const Node* s = v->summary;
+    uint64_t hp = !s || s->is_empty()
+                      ? kNone
+                      : (s->base() ? s->base_pred_lt(h) : node_pred_lt(s, h));
+    if (hp != kNone) return prefix | v->index(hp, v->cluster(hp)->max);
+    return prefix | v->min;
   }
-  if (x <= v->min) return kNone;
-  if (x > v->max) return v->max;
-  // v->min < x <= v->max: look in the clusters, fall back to min.
-  uint64_t h = v->high(x), l = v->low(x);
-  const Node* c = v->cluster(h);
-  if (c && !c->is_empty() && c->min < l) {
-    return v->index(h, node_pred_lt(c, l));
-  }
-  uint64_t hp = node_pred_lt(v->summary, h);
-  if (hp != kNone) return v->index(hp, v->cluster(hp)->max);
-  return v->min;
 }
 
 uint64_t node_succ_gt(const Node* v, uint64_t x) {
-  if (!v || v->is_empty()) return kNone;
-  if (v->base()) {
-    uint64_t above = x >= 63 ? 0 : (v->mask & ~((uint64_t{2} << x) - 1));
-    if (above == 0) return kNone;
-    return static_cast<uint64_t>(std::countr_zero(above));
+  uint64_t prefix = 0;
+  while (true) {
+    if (!v || v->is_empty()) return kNone;
+    if (v->base()) {
+      uint64_t r = v->base_succ_gt(x);
+      return r == kNone ? kNone : prefix | r;
+    }
+    if (x >= v->max) return kNone;
+    if (x < v->min) return prefix | v->min;
+    uint64_t h = v->high(x), l = v->low(x);
+    const Node* c = v->cluster(h);
+    if (c && !c->is_empty() && c->max > l) {
+      prefix |= h << v->lo_bits;
+      v = c;
+      x = l;
+      continue;
+    }
+    const Node* s = v->summary;  // base-summary dispatch, as in pred_lt
+    uint64_t hs = !s || s->is_empty()
+                      ? kNone
+                      : (s->base() ? s->base_succ_gt(h) : node_succ_gt(s, h));
+    if (hs != kNone) return prefix | v->index(hs, v->cluster(hs)->min);
+    return prefix | v->max;
   }
-  if (x >= v->max) return kNone;
-  if (x < v->min) return v->min;
-  uint64_t h = v->high(x), l = v->low(x);
-  const Node* c = v->cluster(h);
-  if (c && !c->is_empty() && c->max > l) {
-    return v->index(h, node_succ_gt(c, l));
-  }
-  uint64_t hs = node_succ_gt(v->summary, h);
-  if (hs != kNone) return v->index(hs, v->cluster(hs)->min);
-  return v->max;
 }
-
-uint64_t node_min(const Node* v) { return v ? v->min : kNone; }
-uint64_t node_max(const Node* v) { return (!v || v->is_empty()) ? kNone : v->max; }
 
 // -------------------------------------------------- sequential insert/erase
 
-void node_insert(Node* v, uint64_t x, Arena& arena) {
+// Fused membership test + insert: returns whether x was actually added.
+// Duplicates are detected mid-descent (at the node holding x, or at the
+// base words), so the public insert() needs no separate contains() pass —
+// one traversal instead of two.
+bool node_insert(Node* v, uint64_t x, Arena& arena) {
   if (v->base()) {
-    v->mask |= uint64_t{1} << x;
-    v->base_sync_minmax();
-    return;
+    if (v->base_contains(x)) return false;
+    v->base_insert(x, arena);
+    return true;
   }
   if (v->is_empty()) {
     v->min = v->max = x;
-    return;
+    return true;
   }
-  if (x == v->min || x == v->max) return;
+  if (x == v->min || x == v->max) return false;
   if (v->min == v->max) {  // one key; keep both slots at the node
     if (x < v->min) {
       v->min = x;
     } else {
       v->max = x;
     }
-    return;
+    return true;
   }
   if (x < v->min) std::swap(x, v->min);
   else if (x > v->max) std::swap(x, v->max);
+  // A displaced old min/max is never also in the clusters (exclusivity), so
+  // once a swap happened the recursion always inserts.
   uint64_t h = v->high(x), l = v->low(x);
   Node* c = v->ensure_cluster(h, arena);
   if (c->is_empty()) {
-    c->make_singleton(l);                        // O(1)
+    c->make_singleton(l, arena);                 // O(1)
     node_insert(v->ensure_summary(arena), h, arena);  // the only deep recursion
-  } else {
-    node_insert(c, l, arena);  // summary already contains h
+    return true;
   }
+  return node_insert(c, l, arena);  // summary already contains h
 }
 
-void node_erase(Node* v, uint64_t x);
+bool node_erase(Node* v, uint64_t x);
 
 // Deletes key y from v's clusters (y is neither v->min nor v->max) and fixes
 // the summary. Precondition: y present in the clusters.
@@ -178,21 +174,24 @@ void erase_from_clusters(Node* v, uint64_t y) {
   if (c->is_empty()) node_erase(v->summary, h);
 }
 
-void node_erase(Node* v, uint64_t x) {
-  if (!v || v->is_empty()) return;
+// Fused membership test + erase: returns whether x was actually removed
+// (same single-traversal contract as node_insert).
+bool node_erase(Node* v, uint64_t x) {
+  if (!v || v->is_empty()) return false;
   if (v->base()) {
-    v->mask &= ~(uint64_t{1} << x);
-    v->base_sync_minmax();
-    return;
+    if (!v->base_contains(x)) return false;
+    v->base_erase(x);
+    return true;
   }
   if (v->min == v->max) {
-    if (x == v->min) v->min = v->max = kNone;
-    return;
+    if (x != v->min) return false;
+    v->min = v->max = kNone;
+    return true;
   }
   if (x == v->min) {
     if (v->summary_empty()) {  // exactly {min, max}
       v->min = v->max;
-      return;
+      return true;
     }
     uint64_t h0 = v->summary->min;
     Node* c = v->cluster(h0);
@@ -200,12 +199,12 @@ void node_erase(Node* v, uint64_t x) {
     node_erase(c, l0);  // O(1) when c is a singleton
     if (c->is_empty()) node_erase(v->summary, h0);
     v->min = v->index(h0, l0);
-    return;
+    return true;
   }
   if (x == v->max) {
     if (v->summary_empty()) {
       v->max = v->min;
-      return;
+      return true;
     }
     uint64_t h1 = v->summary->max;
     Node* c = v->cluster(h1);
@@ -213,13 +212,14 @@ void node_erase(Node* v, uint64_t x) {
     node_erase(c, l1);
     if (c->is_empty()) node_erase(v->summary, h1);
     v->max = v->index(h1, l1);
-    return;
+    return true;
   }
   // interior key
   Node* c = v->cluster(v->high(x));
-  if (!c || v->summary_empty()) return;  // absent
-  node_erase(c, v->low(x));
+  if (!c || v->summary_empty()) return false;  // absent
+  if (!node_erase(c, v->low(x))) return false;
   if (c->is_empty()) node_erase(v->summary, v->high(x));
+  return true;
 }
 
 // ------------------------------------------------------------ batch insert
@@ -252,7 +252,14 @@ constexpr int64_t kSerialBatch = 1024;
 void batch_insert_rec(Node* v, uint64_t* b, int64_t m, Arena& arena) {
   if (m == 0) return;
   if (v->base()) {
-    for (int64_t i = 0; i < m; i++) v->mask |= uint64_t{1} << b[i];
+    if (v->tiny()) {
+      for (int64_t i = 0; i < m; i++) v->mask |= uint64_t{1} << b[i];
+    } else {
+      uint64_t* w = v->ensure_words(arena);
+      for (int64_t i = 0; i < m; i++) {
+        veb_words::block_insert(v->mask, w, b[i]);
+      }
+    }
     v->base_sync_minmax();
     return;
   }
@@ -308,7 +315,7 @@ void batch_insert_rec(Node* v, uint64_t* b, int64_t m, Arena& arena) {
       Node* c = v->ensure_cluster(h, arena);
       if (c->is_empty()) {
         new_high[nnew++] = h;
-        c->make_singleton(v->low(b[s]));
+        c->make_singleton(v->low(b[s]), arena);
         s++;  // consumed
       }
       for (int64_t i = s; i < e; i++) b[i] = v->low(b[i]);
@@ -332,7 +339,7 @@ void batch_insert_rec(Node* v, uint64_t* b, int64_t m, Arena& arena) {
     Node* c = v->ensure_cluster(h, arena);
     if (c->is_empty()) {
       new_high.push_back(h);
-      c->make_singleton(v->low(b[s]));
+      c->make_singleton(v->low(b[s]), arena);
       s++;  // consumed
     }
     sub_start[g] = s;
@@ -389,7 +396,11 @@ void batch_delete_rec(Node* v, std::vector<uint64_t> b,
                       std::vector<uint64_t> s_map) {
   if (b.empty() || !v || v->is_empty()) return;
   if (v->base()) {
-    for (uint64_t x : b) v->mask &= ~(uint64_t{1} << x);
+    if (v->tiny()) {
+      for (uint64_t x : b) v->mask &= ~(uint64_t{1} << x);
+    } else if (v->words) {
+      for (uint64_t x : b) veb_words::block_erase(v->mask, v->words, x);
+    }
     v->base_sync_minmax();
     return;
   }
@@ -554,21 +565,27 @@ int64_t check_node(const Node* v, uint64_t universe);
 // ------------------------------------------------------------- public API
 
 VebTree::VebTree(uint64_t universe)
+    : VebTree(universe, default_veb_layout()) {}
+
+VebTree::VebTree(uint64_t universe, Arena* pool)
+    : VebTree(universe, pool, default_veb_layout()) {}
+
+VebTree::VebTree(uint64_t universe, VebLayout layout)
     : own_arena_(std::make_unique<Arena>()),
       arena_(own_arena_.get()),
       universe_(universe) {
   assert(universe >= 1);
   int bits = 1;
   while ((uint64_t{1} << bits) < universe && bits < 63) bits++;
-  root_ = arena_->create<Node>(bits);
+  root_ = arena_->create<Node>(bits, base_bits_for(layout));
 }
 
-VebTree::VebTree(uint64_t universe, Arena* pool)
+VebTree::VebTree(uint64_t universe, Arena* pool, VebLayout layout)
     : arena_(pool), universe_(universe) {
   assert(universe >= 1 && pool != nullptr);
   int bits = 1;
   while ((uint64_t{1} << bits) < universe && bits < 63) bits++;
-  root_ = arena_->create<Node>(bits);
+  root_ = arena_->create<Node>(bits, base_bits_for(layout));
 }
 
 VebTree::~VebTree() = default;
@@ -598,31 +615,21 @@ VebTree& VebTree::operator=(VebTree&& o) noexcept {
   return *this;
 }
 
-bool VebTree::contains(uint64_t x) const {
-  return x < universe_ && node_contains(root_, x);
+// Slow-path continuations of the inline point ops (veb_node.hpp): the
+// inline bodies have already handled x-out-of-universe and base roots
+// (except the very first insert into a word root, which needs the arena).
+
+bool VebTree::contains_slow(uint64_t x) const {
+  return node_contains(root_, x);
 }
 
-std::optional<uint64_t> VebTree::min() const {
-  uint64_t m = node_min(root_);
-  if (m == kNone) return std::nullopt;
-  return m;
-}
-
-std::optional<uint64_t> VebTree::max() const {
-  uint64_t m = node_max(root_);
-  if (m == kNone) return std::nullopt;
-  return m;
-}
-
-std::optional<uint64_t> VebTree::pred_lt(uint64_t x) const {
-  if (x >= universe_) x = universe_;  // clamp: pred of anything above
-  uint64_t r = x == 0 ? kNone : node_pred_lt(root_, x);
+std::optional<uint64_t> VebTree::pred_lt_slow(uint64_t x) const {
+  uint64_t r = node_pred_lt(root_, x);
   if (r == kNone) return std::nullopt;
   return r;
 }
 
-std::optional<uint64_t> VebTree::succ_gt(uint64_t x) const {
-  if (x >= universe_) return std::nullopt;
+std::optional<uint64_t> VebTree::succ_gt_slow(uint64_t x) const {
   uint64_t r = node_succ_gt(root_, x);
   if (r == kNone) return std::nullopt;
   return r;
@@ -638,17 +645,12 @@ std::optional<uint64_t> VebTree::succ_geq(uint64_t x) const {
   return succ_gt(x);
 }
 
-void VebTree::insert(uint64_t x) {
-  assert(x < universe_);
-  if (contains(x)) return;
-  node_insert(root_, x, *arena_);
-  size_++;
+void VebTree::insert_slow(uint64_t x) {
+  if (node_insert(root_, x, *arena_)) size_++;
 }
 
-void VebTree::erase(uint64_t x) {
-  if (!contains(x)) return;
-  node_erase(root_, x);
-  size_--;
+void VebTree::erase_slow(uint64_t x) {
+  if (node_erase(root_, x)) size_--;
 }
 
 int64_t VebTree::batch_insert(const std::vector<uint64_t>& batch) {
@@ -709,6 +711,22 @@ std::vector<uint64_t> VebTree::range(uint64_t lo, uint64_t hi) const {
   std::optional<uint64_t> a = succ_geq(lo);
   if (!a || *a > hi) return {};
   std::optional<uint64_t> b = pred_leq(std::min(hi, universe_ - 1));
+  if (root_->base()) {
+    // Word-packed root (universe <= 4096 under the word layout): scan the
+    // packed bits directly — no split tree, no per-call arena.
+    std::vector<uint64_t> out;
+    if (root_->tiny()) {
+      uint64_t w = root_->mask & (~uint64_t{0} << *a);
+      if (*b < 63) w &= (uint64_t{2} << *b) - 1;
+      for (; w != 0; w &= w - 1) {
+        out.push_back(veb_words::word_min(w));
+      }
+    } else {
+      veb_words::block_for_each(root_->mask, root_->words, *a, *b,
+                                [&](uint64_t k) { out.push_back(k); });
+    }
+    return out;
+  }
   Arena range_arena;
   RangeNode* tree = build_range_tree(root_, *a, *b, range_arena);
   std::vector<uint64_t> out(tree->size);
@@ -734,12 +752,26 @@ int64_t check_node(const Node* v, uint64_t universe) {
   check_that(v->min < universe && v->max < universe, "min/max in universe");
   check_that(v->min <= v->max, "min <= max");
   if (v->base()) {
-    check_that(v->mask != 0, "nonempty base mask");
-    check_that(v->min == static_cast<uint64_t>(std::countr_zero(v->mask)),
-               "base min = lowest bit");
-    check_that(v->max == static_cast<uint64_t>(63 - std::countl_zero(v->mask)),
-               "base max = highest bit");
-    return std::popcount(v->mask);
+    if (v->tiny()) {
+      check_that(v->mask != 0, "nonempty base mask");
+      check_that(v->min == veb_words::word_min(v->mask),
+                 "base min = lowest bit");
+      check_that(v->max == veb_words::word_max(v->mask),
+                 "base max = highest bit");
+      return std::popcount(v->mask);
+    }
+    // Word block: the mask is the summary word over the cluster words.
+    check_that(v->words != nullptr, "nonempty word base has words");
+    uint64_t derived = 0;
+    for (uint64_t h = 0; h < v->nwords(); h++) {
+      if (v->words[h] != 0) derived |= uint64_t{1} << h;
+    }
+    check_that(v->mask == derived, "word summary matches nonzero words");
+    check_that(v->min == veb_words::block_min(v->mask, v->words),
+               "word base min = first set bit");
+    check_that(v->max == veb_words::block_max(v->mask, v->words),
+               "word base max = last set bit");
+    return veb_words::block_count(v->mask, v->words);
   }
   int64_t count = (v->min == v->max) ? 1 : 2;
   // min/max exclusivity: neither may appear in the clusters.

@@ -4,8 +4,16 @@
 // variant of the vEB tree: a node stores its minimum AND maximum exclusively
 // (neither is stored again in the clusters — unlike CLRS, which duplicates
 // max); all remaining keys are split into high bits (kept recursively in
-// `summary`) and low bits (kept in `clusters[high]`). Subtrees with universe
-// <= 64 are a single 64-bit bitmask.
+// `summary`) and low bits (kept in `clusters[high]`).
+//
+// The recursion bottoms out in bit-packed words (veb_words.hpp): subtrees
+// with universe <= 4096 are a flat two-level word block — a 64-bit summary
+// word over up to 64 cluster words — so the bottom two node levels of the
+// classic layout collapse into find-first-set kernels with zero per-leaf
+// allocations (universe <= 64 remains a single bitmask). The previous
+// node-structured bottom is kept for one release behind VebLayout::
+// kLegacyNode, as the differential-test baseline; it is not a supported
+// production configuration.
 //
 // Supported operations and costs (U = universe size, m = batch size):
 //   insert / erase / contains / pred / succ      O(log log U)
@@ -29,6 +37,25 @@
 
 namespace parlis {
 
+/// How the bottom of the vEB recursion is represented.
+enum class VebLayout : uint8_t {
+  /// Universe <= 4096 subtrees are flat word blocks (veb_words.hpp): no
+  /// leaf nodes, find-first-set kernels. The production layout.
+  kWordBlock,
+  /// Pre-word node-structured bottom (bitmask only at universe <= 64).
+  /// Test-only: kept one release so the differential harness can diff the
+  /// two layouts; scheduled for removal afterwards.
+  kLegacyNode,
+};
+
+/// Process-wide default layout for trees constructed without an explicit
+/// one (ships as kWordBlock). A test/bench hook — flip it around a scope to
+/// A/B whole structures (MonoVeb, RangeVeb) that construct trees
+/// internally; not meant for steady-state production use. Racy flips only
+/// affect trees constructed concurrently with the flip.
+void set_default_veb_layout(VebLayout layout);
+VebLayout default_veb_layout();
+
 class VebTree {
  public:
   /// Sentinel returned by the internal pred/succ helpers ("none").
@@ -45,6 +72,7 @@ class VebTree {
   struct Node;
 
   /// Creates an empty set over universe [0, universe); universe >= 1.
+  /// Uses the process default layout (see set_default_veb_layout).
   explicit VebTree(uint64_t universe);
 
   /// Same, but draws every node from `pool` instead of a private arena —
@@ -53,6 +81,10 @@ class VebTree {
   /// `pool` must outlive the tree; nodes of a destroyed or assigned-over
   /// shared-pool tree stay in the pool until the pool itself dies.
   VebTree(uint64_t universe, Arena* pool);
+
+  /// Explicit-layout overloads (test/bench hooks for layout A/Bs).
+  VebTree(uint64_t universe, VebLayout layout);
+  VebTree(uint64_t universe, Arena* pool, VebLayout layout);
   ~VebTree();
   VebTree(VebTree&&) noexcept;
   VebTree& operator=(VebTree&&) noexcept;
@@ -63,6 +95,10 @@ class VebTree {
   int64_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  // The point ops are defined inline in veb_node.hpp (included below): when
+  // the root is a packed base block — every tree with universe <= 4096 under
+  // the word layout — they compile down to find-first-set kernels with no
+  // out-of-line call. Larger trees fall through to the *_slow paths.
   bool contains(uint64_t x) const;
   std::optional<uint64_t> min() const;
   std::optional<uint64_t> max() const;
@@ -98,7 +134,20 @@ class VebTree {
   /// the whole pool for shared-pool trees).
   size_t pool_reserved_bytes() const { return arena_->reserved_bytes(); }
 
+  /// Payload bytes actually handed out by the pool — nodes, cluster tables,
+  /// word arrays (testing/introspection hook; whole pool for shared-pool
+  /// trees). The word-layout memory gate diffs this across inserts.
+  size_t pool_allocated_bytes() const { return arena_->bytes_allocated(); }
+
  private:
+  // Out-of-line continuations of the inline point ops, for internal roots
+  // (and the first insert into a word root, which must touch the arena).
+  bool contains_slow(uint64_t x) const;
+  std::optional<uint64_t> pred_lt_slow(uint64_t x) const;
+  std::optional<uint64_t> succ_gt_slow(uint64_t x) const;
+  void insert_slow(uint64_t x);
+  void erase_slow(uint64_t x);
+
   std::unique_ptr<Arena> own_arena_;  // null for shared-pool trees
   Arena* arena_;                      // never null while the tree is valid
   Node* root_ = nullptr;              // owned by *arena_
@@ -107,3 +156,5 @@ class VebTree {
 };
 
 }  // namespace parlis
+
+#include "parlis/veb/veb_node.hpp"  // Node layout + inline point-op bodies

@@ -13,6 +13,15 @@ RangeVeb::RangeVeb(std::span<const int64_t> y_by_pos)
     : n_(static_cast<int64_t>(y_by_pos.size())),
       arena_(std::make_unique<Arena>()) {
   if (n_ == 0) return;
+  // Direct-scan tables for the truncated bottom: y per position, and the
+  // published score per position (0 = not yet published, the same "none"
+  // convention the inner trees' dominant-max uses).
+  {
+    int64_t* yp = arena_->create_array_uninit<int64_t>(n_);
+    parallel_for(0, n_, [&](int64_t p) { yp[p] = y_by_pos[p]; });
+    y_pos_ = yp;
+  }
+  score_pos_ = arena_->create_array<int64_t>(n_);
   int64_t width =
       static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(n_)));
   // Inverse of y_by_pos (construction scratch): which value-order position
@@ -21,6 +30,12 @@ RangeVeb::RangeVeb(std::span<const int64_t> y_by_pos)
   // per level, piggybacking on the merge that builds the block.
   std::vector<int64_t> pos_of(n_);
   parallel_for(0, n_, [&](int64_t p) { pos_of[y_by_pos[p]] = p; });
+  // Stored levels are exactly the queried ones: widths width/2 down to
+  // kLeafWidth. The bottom levels (width < kLeafWidth) are truncated — the
+  // descent's sub-leaf remainder is a linear scan over y_pos_/score_pos_ —
+  // and the root (width `width`) is never a canonical node of a prefix
+  // decomposition, so neither end gets inner trees or update passes (the
+  // root tree would have been the largest Mono-vEB of all).
   std::vector<Level> rev;
   auto fill_ranks = [&](Level& lev) {
     int32_t* rank = arena_->create_array_uninit<int32_t>(n_);
@@ -34,31 +49,47 @@ RangeVeb::RangeVeb(std::span<const int64_t> y_by_pos)
     });
     lev.rank = rank;
   };
-  {
+  // Shape follows the process-default vEB layout. The word layout gets the
+  // truncated outer tree described in the header. VebLayout::kLegacyNode
+  // reproduces the pre-word shape end to end — width-1 leaves and a stored
+  // root level, every level updated — so the layout hook A/Bs the whole
+  // pre-word wlis_veb pipeline, not just the node bottoms. (The root as a
+  // queried level is harmless: it is consumed only by the qpos == n query,
+  // where its inner tree answers correctly in one step.)
+  const bool legacy = default_veb_layout() == VebLayout::kLegacyNode;
+  const int64_t leaf_width = legacy ? 1 : kLeafWidth;
+  const int64_t top_width = legacy ? width : width / 2;
+  if (legacy || width > kLeafWidth) {
     Level leaf;
-    leaf.width = 1;
+    leaf.width = leaf_width;
     int64_t* ys = arena_->create_array_uninit<int64_t>(n_);
-    parallel_for(0, n_, [&](int64_t p) { ys[p] = y_by_pos[p]; });
+    int64_t nblocks = (n_ + leaf_width - 1) / leaf_width;
+    parallel_for(0, nblocks, [&](int64_t blk) {
+      int64_t lo = blk * leaf_width;
+      int64_t hi = std::min(n_, lo + leaf_width);
+      std::copy(y_pos_ + lo, y_pos_ + hi, ys + lo);
+      std::sort(ys + lo, ys + hi);
+    });
     leaf.ys = ys;
     fill_ranks(leaf);
     rev.push_back(std::move(leaf));
-  }
-  while (rev.back().width < width) {
-    const Level& prev = rev.back();
-    Level next;
-    next.width = prev.width * 2;
-    int64_t* ys = arena_->create_array_uninit<int64_t>(n_);
-    int64_t nblocks = (n_ + next.width - 1) / next.width;
-    parallel_for(0, nblocks, [&](int64_t blk) {
-      int64_t lo = blk * next.width;
-      int64_t mid = std::min(n_, lo + prev.width);
-      int64_t hi = std::min(n_, lo + next.width);
-      merge_into(prev.ys + lo, mid - lo, prev.ys + mid, hi - mid, ys + lo,
-                 std::less<int64_t>{});
-    });
-    next.ys = ys;
-    fill_ranks(next);
-    rev.push_back(std::move(next));
+    while (rev.back().width < top_width) {
+      const Level& prev = rev.back();
+      Level next;
+      next.width = prev.width * 2;
+      int64_t* ys2 = arena_->create_array_uninit<int64_t>(n_);
+      int64_t nb = (n_ + next.width - 1) / next.width;
+      parallel_for(0, nb, [&](int64_t blk) {
+        int64_t lo = blk * next.width;
+        int64_t mid = std::min(n_, lo + prev.width);
+        int64_t hi = std::min(n_, lo + next.width);
+        merge_into(prev.ys + lo, mid - lo, prev.ys + mid, hi - mid, ys2 + lo,
+                   std::less<int64_t>{});
+      });
+      next.ys = ys2;
+      fill_ranks(next);
+      rev.push_back(std::move(next));
+    }
   }
   // One Mono-vEB per node block, with relabeled universe = block length;
   // all of them draw nodes and score tables from the shared pool.
@@ -86,8 +117,7 @@ int64_t RangeVeb::dominant_max(int64_t qpos, int64_t qy) const {
   qpos = std::min(qpos, n_);
   int64_t best = 0;
   int64_t node_start = 0;
-  for (size_t d = 0; d + 1 < levels_.size(); d++) {
-    const Level& child = levels_[d + 1];
+  for (const Level& child : levels_) {
     int64_t mid = node_start + child.width;
     if (qpos >= mid) {
       int64_t len = std::min(mid, n_) - node_start;
@@ -103,13 +133,10 @@ int64_t RangeVeb::dominant_max(int64_t qpos, int64_t qy) const {
       node_start = mid;
     }
   }
-  if (qpos > node_start && node_start < n_) {
-    const Level& leaf = levels_.back();
-    if (leaf.ys[node_start] < qy) {
-      const MonoVeb& mv = leaf.inner[node_start];
-      MonoVeb::MaxBelow mb = mv.max_below(1);  // universe {0}
-      if (mb.found) best = std::max(best, mb.score);
-    }
+  // Sub-leaf remainder (< kLeafWidth positions): scan published scores
+  // directly. Unpublished positions hold 0 and never beat a real score.
+  for (int64_t p = node_start; p < qpos; p++) {
+    if (y_pos_[p] < qy) best = std::max(best, score_pos_[p]);
   }
   return best;
 }
@@ -117,6 +144,10 @@ int64_t RangeVeb::dominant_max(int64_t qpos, int64_t qy) const {
 void RangeVeb::update_batch(const ScoreUpdate* batch, int64_t m) {
   if (m == 0) return;
   assert(m <= n_ && "batch positions must be distinct");
+  // Publish for the truncated bottom's direct scans.
+  parallel_for(0, m, [&](int64_t i) {
+    score_pos_[batch[i].pos] = batch[i].score;
+  });
   // Per level: group the batch by node block, relabel each point inside its
   // block through the construction-time rank table (one O(1) lookup, no
   // binary search), and update every touched inner tree in parallel.
@@ -157,14 +188,14 @@ void RangeVeb::update_batch(const ScoreUpdate* batch, int64_t m) {
 
 void RangeVeb::precompute_query_labels(std::span<const int64_t> qpos_by_y) {
   qpos_.assign(qpos_by_y.begin(), qpos_by_y.end());
-  int64_t steps = static_cast<int64_t>(levels_.size()) - 1;
+  int64_t steps = static_cast<int64_t>(levels_.size());
   labels_.assign(steps * n_, -1);
   parallel_for(0, n_, [&](int64_t j) {
     int64_t qpos = std::min(qpos_by_y[j], n_);
     if (qpos <= 0) return;
     int64_t node_start = 0;
     for (int64_t d = 0; d < steps; d++) {
-      const Level& child = levels_[d + 1];
+      const Level& child = levels_[d];
       int64_t mid = node_start + child.width;
       if (qpos >= mid) {
         int64_t len = std::min(mid, n_) - node_start;
@@ -185,9 +216,9 @@ int64_t RangeVeb::dominant_max_point(int64_t j) const {
   if (qpos <= 0 || n_ == 0) return 0;
   int64_t best = 0;
   int64_t node_start = 0;
-  int64_t steps = static_cast<int64_t>(levels_.size()) - 1;
+  int64_t steps = static_cast<int64_t>(levels_.size());
   for (int64_t d = 0; d < steps; d++) {
-    const Level& child = levels_[d + 1];
+    const Level& child = levels_[d];
     int64_t mid = node_start + child.width;
     if (qpos >= mid) {
       int32_t label = labels_[d * n_ + j];
@@ -200,12 +231,8 @@ int64_t RangeVeb::dominant_max_point(int64_t j) const {
       node_start = mid;
     }
   }
-  if (qpos > node_start && node_start < n_) {
-    const Level& leaf = levels_.back();
-    if (leaf.ys[node_start] < j) {
-      MonoVeb::MaxBelow mb = leaf.inner[node_start].max_below(1);
-      if (mb.found) best = std::max(best, mb.score);
-    }
+  for (int64_t p = node_start; p < qpos; p++) {
+    if (y_pos_[p] < j) best = std::max(best, score_pos_[p]);
   }
   return best;
 }

@@ -16,6 +16,15 @@
 // query path still relabels by binary search (the Appendix E label tables
 // of precompute_query_labels remove it for point queries).
 //
+// The outer tree is truncated at both ends. Stored levels are exactly the
+// queried ones — node widths from bit_ceil(n)/2 down to kLeafWidth: the
+// root is never a canonical node of a prefix decomposition (storing it
+// would route every update through the single largest Mono-vEB for
+// nothing), and the sub-leaf remainder of a query (< kLeafWidth positions)
+// is a direct linear scan over per-position published scores, mirroring
+// the range tree's truncated bottom. That removes O(log kLeafWidth) level
+// passes from every update round and every query descent.
+//
 // Storage: one Arena backs the whole structure — the per-level sorted-y
 // arrays and every inner Mono-vEB (nodes and score tables) — so
 // construction performs O(log n) chunk allocations instead of one per inner
@@ -81,6 +90,11 @@ class RangeVeb {
   int64_t dominant_max_point(int64_t j) const;
 
  private:
+  /// Width of the narrowest stored level; remainders below it are served by
+  /// the direct scan. One cache line of y's — the scan is cheaper than the
+  /// level bookkeeping it replaces.
+  static constexpr int64_t kLeafWidth = 64;
+
   struct Level {
     int64_t width = 0;
     const int64_t* ys = nullptr;   // per node block: sorted y's (arena)
@@ -93,7 +107,12 @@ class RangeVeb {
 
   int64_t n_;
   std::unique_ptr<Arena> arena_;  // levels' ys + all inner trees
-  std::vector<Level> levels_;     // levels_[0] = root
+  // Queried levels only, widest first: widths bit_ceil(n)/2 .. kLeafWidth.
+  std::vector<Level> levels_;
+  // Truncated-bottom scan tables (arena): y-coordinate per value-order
+  // position, and the last published score per position (0 = none yet).
+  const int64_t* y_pos_ = nullptr;
+  int64_t* score_pos_ = nullptr;
   // Appendix E tables: labels_[d * n + j] is point j's query label in the
   // canonical node consumed at descent step d (-1 = no canonical node
   // there). qpos_ mirrors the argument of precompute_query_labels.
