@@ -1,0 +1,232 @@
+// Streaming-session microbenchmark: what one tick costs.
+//
+//   append       — LisSession::append per-tick median (grow-only), measured
+//                  in blocks so the timer overhead stays off the tick. The
+//                  acceptance row: at n = 1e6 the per-tick median must be
+//                  >= 20x faster than re-solving per tick. Uniform 63-bit
+//                  values, i.e. the slack-rank dictionary path; the
+//                  append_dense row is the same measurement on a
+//                  random-walk feed, which rides the identity-rank dense
+//                  path (no dictionary).
+//   resolve_tick — the baseline a per-tick workload pays without sessions:
+//                  one full Solver::lis_length re-solve of the n-element
+//                  history (median over reps). Per-op medians, so the
+//                  1-core-host caveat from EXPERIMENTS.md applies.
+//   sliding      — per-tick median with expiry on: kSlidingAmortized at
+//                  window n/10 and kSlidingExact at a small window (the
+//                  exact mode pays a survivor replay per tick at capacity —
+//                  reported honestly as its own row).
+//   delta        — delta_resolve of a 1k-element middle edit vs a full
+//                  re-solve of the edited series (both medians reported).
+//
+// Flags: --n (default 1000000), --reps, --window (amortized window,
+// default n/10), --exactwindow (default 4096), --out FILE, --strict
+// (exit 2 unless the 20x acceptance holds; advisory otherwise).
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
+#include "parlis/api/solver.hpp"
+#include "parlis/parallel/parallel.hpp"
+#include "parlis/parallel/random.hpp"
+#include "parlis/stream/lis_session.hpp"
+
+namespace {
+
+using namespace parlis;
+using namespace parlis::bench;
+
+constexpr int64_t kBlock = 1024;
+
+// Median per-tick seconds of `session.append` over the stream `a`,
+// timed in kBlock-sized blocks.
+double append_per_tick(LisSession& session, const std::vector<int64_t>& a) {
+  std::vector<double> blocks;
+  int64_t n = static_cast<int64_t>(a.size());
+  for (int64_t s = 0; s < n; s += kBlock) {
+    int64_t e = std::min(n, s + kBlock);
+    Timer t;
+    for (int64_t i = s; i < e; i++) session.append(a[i]);
+    blocks.push_back(t.elapsed() / static_cast<double>(e - s));
+  }
+  std::sort(blocks.begin(), blocks.end());
+  return blocks[(blocks.size() - 1) / 2];
+}
+
+double median(std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  return v[(v.size() - 1) / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  int64_t n = flags.get("n", 1000000);
+  int reps = static_cast<int>(flags.get("reps", 5));
+  int64_t window = flags.get("window", n / 10);
+  int64_t exact_window = flags.get("exactwindow", 4096);
+  BenchJson json(flags.get_str("out", ""));
+  const int host_hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("micro_stream: n=%lld reps=%d window=%lld exact=%lld "
+              "threads=%d host_hw_threads=%d\n\n",
+              static_cast<long long>(n), reps, static_cast<long long>(window),
+              static_cast<long long>(exact_window), num_workers(), host_hw);
+
+  std::vector<int64_t> a(n);
+  parallel_for(0, n, [&](int64_t i) {
+    a[i] = static_cast<int64_t>(hash64(42, i) >> 1);
+  });
+
+  auto emit = [&](const char* op, int64_t rown, int64_t win,
+                  double per_tick_ns, double med_ms, double ratio) {
+    JsonRecord rec;
+    rec.field("bench", "micro_stream")
+        .field("op", op)
+        .field("n", rown)
+        .field("threads", num_workers());
+    if (win >= 0) rec.field("window", win);
+    if (per_tick_ns >= 0) rec.field("per_tick_ns", per_tick_ns);
+    if (med_ms >= 0) rec.field("median_ms", med_ms);
+    if (ratio >= 0) rec.field("speedup_x", ratio);
+    json.add(rec);
+  };
+
+  // ------------------------------------------------------------ append ---
+  Options opts;
+  Solver solver(opts);
+  std::vector<double> app_meds;
+  int64_t k_stream = 0;
+  for (int r = 0; r < reps; r++) {
+    LisSession s = solver.make_session();
+    app_meds.push_back(append_per_tick(s, a));
+    k_stream = s.length();
+  }
+  double append_ns = median(app_meds) * 1e9;
+  std::printf("%-14s per-tick median %8.0f ns   (final LIS %lld)\n", "append",
+              append_ns, static_cast<long long>(k_stream));
+
+  // ------------------------------------------------------ resolve_tick ---
+  std::vector<double> res_ts;
+  int64_t k_batch = 0;
+  for (int r = 0; r < reps; r++) {
+    Timer t;
+    k_batch = solver.lis_length(std::span<const int64_t>(a));
+    res_ts.push_back(t.elapsed());
+  }
+  double resolve_ms = median(res_ts) * 1e3;
+  double ratio = resolve_ms * 1e6 / append_ns;
+  std::printf("%-14s per-tick median %8.3f ms   (%.0fx the append tick)\n",
+              "resolve_tick", resolve_ms, ratio);
+  if (k_stream != k_batch) {
+    std::printf("MISMATCH: stream LIS %lld vs batch %lld\n",
+                static_cast<long long>(k_stream),
+                static_cast<long long>(k_batch));
+    return 1;
+  }
+  emit("append", n, -1, append_ns, -1, ratio);
+  emit("resolve_tick", n, -1, -1, resolve_ms, -1);
+
+  // ------------------------------------------------------ append_dense ---
+  // Random-walk values (a price-like feed): the observed span stays small,
+  // so ticks ride the identity-rank dense path — no dictionary at all.
+  {
+    std::vector<int64_t> walk(n);
+    int64_t p = 100000;
+    for (int64_t i = 0; i < n; i++) {
+      p += static_cast<int64_t>(hash64(7, i) % 401) - 200;
+      walk[i] = p;
+    }
+    std::vector<double> meds;
+    int64_t reranks = 0;
+    for (int r = 0; r < reps; r++) {
+      LisSession s = solver.make_session();
+      meds.push_back(append_per_tick(s, walk));
+      reranks = s.stats().reranks;
+    }
+    double ns = median(meds) * 1e9;
+    std::printf("%-14s per-tick median %8.0f ns   (%lld reranks)\n",
+                "append_dense", ns, static_cast<long long>(reranks));
+    emit("append_dense", n, -1, ns, -1, -1);
+  }
+
+  // ----------------------------------------------------------- sliding ---
+  {
+    Options w;
+    w.window = WindowMode::kSlidingAmortized;
+    w.window_capacity = std::max<int64_t>(2, window);
+    Solver ws(w);
+    std::vector<double> meds;
+    int64_t rebuilds = 0;
+    for (int r = 0; r < reps; r++) {
+      LisSession s = ws.make_session();
+      meds.push_back(append_per_tick(s, a));
+      rebuilds = s.stats().window_rebuilds;
+    }
+    double ns = median(meds) * 1e9;
+    std::printf("%-14s per-tick median %8.0f ns   (window %lld, %lld "
+                "rebuilds)\n",
+                "slide_amort", ns, static_cast<long long>(window),
+                static_cast<long long>(rebuilds));
+    emit("slide_amort", n, window, ns, -1, -1);
+  }
+  {
+    Options w;
+    w.window = WindowMode::kSlidingExact;
+    w.window_capacity = exact_window;
+    Solver ws(w);
+    int64_t n_exact = std::min<int64_t>(n, 20 * exact_window);
+    std::vector<int64_t> a_exact(a.begin(), a.begin() + n_exact);
+    std::vector<double> meds;
+    for (int r = 0; r < reps; r++) {
+      LisSession s = ws.make_session();
+      meds.push_back(append_per_tick(s, a_exact));
+    }
+    double ns = median(meds) * 1e9;
+    std::printf("%-14s per-tick median %8.0f ns   (window %lld, replay per "
+                "tick at capacity)\n",
+                "slide_exact", ns, static_cast<long long>(exact_window));
+    emit("slide_exact", n_exact, exact_window, ns, -1, -1);
+  }
+
+  // ------------------------------------------------------------- delta ---
+  {
+    Solver ds(opts);
+    LisSession s = ds.make_session();
+    for (int64_t v : a) s.append(v);
+    s.frontiers();
+    constexpr int64_t kEdit = 1000;
+    int64_t l = n / 2;
+    std::vector<int64_t> b = a;
+    std::vector<double> d_ts, f_ts;
+    Solver fresh(opts);
+    LisFrontiers fr;
+    for (int r = 0; r < reps; r++) {
+      for (int64_t i = 0; i < kEdit; i++) {
+        b[l + i] = static_cast<int64_t>(hash64(100 + r, i) >> 1);
+      }
+      Timer t;
+      s.delta_resolve(std::span<const int64_t>(b), l, n - l - kEdit);
+      d_ts.push_back(t.elapsed());
+      t.reset();
+      fresh.solve_lis_frontiers(std::span<const int64_t>(b), fr);
+      f_ts.push_back(t.elapsed());
+    }
+    double delta_ms = median(d_ts) * 1e3;
+    double full_ms = median(f_ts) * 1e3;
+    std::printf("%-14s median %8.3f ms vs full re-solve %8.3f ms (%.1fx)\n",
+                "delta_resolve", delta_ms, full_ms, full_ms / delta_ms);
+    emit("delta_resolve", n, -1, -1, delta_ms, full_ms / delta_ms);
+    emit("delta_full_resolve", n, -1, -1, full_ms, -1);
+  }
+
+  bool pass = ratio >= 20.0;
+  std::printf("\nacceptance (append tick >= 20x faster than re-solve @ "
+              "n=%lld): %s (%.0fx)%s\n",
+              static_cast<long long>(n), pass ? "PASS" : "FAIL", ratio,
+              flags.has("strict") ? "" : " (advisory; --strict gates exit)");
+  return flags.has("strict") && !pass ? 2 : 0;
+}

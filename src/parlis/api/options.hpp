@@ -12,6 +12,24 @@
 
 namespace parlis {
 
+/// Window policy for streaming sessions (Solver::make_session).
+enum class WindowMode : uint8_t {
+  /// No expiry: append() only, the window is the whole series.
+  kGrowOnly,
+  /// Exact fixed-capacity window: every append past capacity retires the
+  /// oldest element first, so the reported LIS is always over exactly the
+  /// trailing `window_capacity` elements. Expiry replays the surviving
+  /// window; consecutive expiries coalesce into one replay, so a pure
+  /// append stream pays one O(W log log u) rebuild per tick worst-case
+  /// but interleaved query-free streams amortize far below that.
+  kSlidingExact,
+  /// Amortized window: expiry retires half the window at once, so the live
+  /// window size oscillates in (capacity/2, capacity]. Appends stay
+  /// amortized O(log log u) — capacity/2 ticks share each half-window
+  /// rebuild, the worst case the checkpointed-rebuild scheme admits.
+  kSlidingAmortized,
+};
+
 struct Options {
   /// Dominant-max backend for the weighted solves (Sec. 4.1 vs 4.2). The
   /// range tree is the practical default and the only backend with the
@@ -38,6 +56,11 @@ struct Options {
 
   /// Seed for the SWGS wake-up scheme's certificate sampling.
   uint64_t seed = 42;
+
+  /// Streaming-session window policy (Solver::make_session). kGrowOnly
+  /// ignores window_capacity; the sliding modes require capacity >= 1.
+  WindowMode window = WindowMode::kGrowOnly;
+  int64_t window_capacity = 0;
 };
 
 }  // namespace parlis

@@ -5,6 +5,7 @@
 
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/scheduler.hpp"
+#include "parlis/stream/lis_session.hpp"
 
 namespace parlis {
 
@@ -145,6 +146,8 @@ void Solver::solve_query(const Query& q, QueryResult& r, ThreadCtx& ctx) {
     }
   }
 }
+
+LisSession Solver::make_session() { return LisSession(*this); }
 
 void Solver::solve_many(std::span<const Query> queries,
                         std::span<QueryResult> results) {

@@ -68,6 +68,8 @@ struct QueryResult {
   int64_t best = 0;  // weighted: max dp; unweighted: k
 };
 
+class LisSession;  // stream/lis_session.hpp
+
 class Solver {
  public:
   explicit Solver(const Options& opts = {});
@@ -202,6 +204,12 @@ class Solver {
   /// options().ties like every other entry point.
   void solve_many(std::span<const Query> queries,
                   std::span<QueryResult> results);
+
+  /// Streaming session over this solver (stream/lis_session.hpp): per-tick
+  /// append / sliding-window / delta re-solve, honoring options().ties and
+  /// the options() window policy. The solver must outlive the session; the
+  /// usual one-thread-at-a-time contract covers the pair.
+  LisSession make_session();
 
  private:
   struct ThreadCtx;

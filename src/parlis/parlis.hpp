@@ -3,6 +3,7 @@
 
 #include "parlis/api/options.hpp"           // Options (per-solver knobs)
 #include "parlis/api/solver.hpp"            // Solver sessions + solve_many
+#include "parlis/stream/lis_session.hpp"    // incremental / windowed LIS
 #include "parlis/parallel/parallel.hpp"     // par_do, parallel_for
 #include "parlis/parallel/primitives.hpp"   // reduce/scan/filter/merge/sort
 #include "parlis/parallel/random.hpp"       // hash64, uniform

@@ -118,8 +118,7 @@ void swgs_wlis_dispatch(std::span<const int64_t> a, std::span<const int64_t> w,
   // The same rank-space pass and dominant-max tree as Alg. 2. This clobbers
   // the workspace's value-sequence cache (the rank space is overwritten and
   // the tree's scores fill with SWGS dp values), so invalidate it.
-  ws.cache_valid = false;
-  ws.tree_ready = false;
+  ws.invalidate_cache();
   if (!rank_space_ready) {
     rank_space_into<int64_t>(a, TiesPolicy::kStrict, ws.rank_space,
                              ws.rank_scratch);

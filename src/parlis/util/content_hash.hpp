@@ -1,0 +1,35 @@
+// Rolling 64-bit content hash over int64 sequences.
+//
+// Used as a cheap first-stage guard for the value-sequence cache (wlis) and
+// maintained incrementally by streaming sessions: appending one element is
+// one multiply + rotate + xor, so a session can keep the hash of its live
+// window at O(1) per tick and hand it to the warm-solve guard instead of
+// forcing an O(n) compare (or a wholesale cache invalidation).
+//
+// The hash is order-dependent (rotate before mixing) but NOT collision-free;
+// every consumer must confirm a hash match with a full std::equal before
+// trusting it. Equal hashes never substitute for equality — they only let
+// the guard reject mismatches without touching the cached copy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace parlis {
+
+inline constexpr uint64_t kContentHashSeed = 0x9e3779b97f4a7c15ull;
+
+/// One appended element: h' = rotl(h, 5) ^ mix(v).
+inline uint64_t content_hash_append(uint64_t h, int64_t v) {
+  uint64_t x = static_cast<uint64_t>(v) * 0x2545f4914f6cdd1dull;
+  return ((h << 5) | (h >> 59)) ^ x;
+}
+
+/// Hash of a whole sequence, seeded so the empty span is nonzero.
+inline uint64_t content_hash64(std::span<const int64_t> a) {
+  uint64_t h = kContentHashSeed;
+  for (int64_t v : a) h = content_hash_append(h, v);
+  return h;
+}
+
+}  // namespace parlis

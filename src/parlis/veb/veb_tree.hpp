@@ -114,6 +114,14 @@ class VebTree {
   void insert(uint64_t x);
   void erase(uint64_t x);
 
+  /// Fused erase(out_key) + insert(in_key) — the patience-pile "replace the
+  /// top of one pile" step of streaming LIS sessions. Semantically identical
+  /// to the two point ops in sequence, but the traversals are fused: on a
+  /// base root it is two word updates, and on internal roots the descent is
+  /// shared while both keys stay interior to the same cluster (the cluster
+  /// never empties, so no summary fix-up is needed along the shared path).
+  void replace_top(uint64_t out_key, uint64_t in_key);
+
   /// Alg. 4: inserts a sorted, duplicate-free batch. Keys already present
   /// are ignored. Returns the number of keys actually inserted.
   int64_t batch_insert(const std::vector<uint64_t>& batch);
@@ -147,6 +155,7 @@ class VebTree {
   std::optional<uint64_t> succ_gt_slow(uint64_t x) const;
   void insert_slow(uint64_t x);
   void erase_slow(uint64_t x);
+  void replace_slow(uint64_t out_key, uint64_t in_key);
 
   std::unique_ptr<Arena> own_arena_;  // null for shared-pool trees
   Arena* arena_;                      // never null while the tree is valid

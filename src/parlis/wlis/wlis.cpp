@@ -6,6 +6,7 @@
 #include "parlis/lis/lis.hpp"
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/primitives.hpp"
+#include "parlis/util/content_hash.hpp"
 #include "parlis/util/rank_space.hpp"
 #include "parlis/wlis/range_structure.hpp"
 #include "parlis/wlis/range_tree.hpp"
@@ -18,8 +19,13 @@ namespace {
 
 // Value-sequence cache hit: the cached preparation (frontiers, rank
 // space, tree tables) is valid iff the values are bytewise identical.
-bool values_cached(const WlisWorkspace& ws, std::span<const int64_t> a) {
+// The rolling hash runs first so a miss rejects in O(1) after the size
+// check (the common warm-miss case used to pay a full O(n) std::equal);
+// a hash match still confirms with std::equal, so collisions stay correct.
+bool values_cached(const WlisWorkspace& ws, std::span<const int64_t> a,
+                   uint64_t content_hash) {
   return ws.cache_valid && ws.cached_a.size() == a.size() &&
+         ws.cached_hash == content_hash &&
          std::equal(a.begin(), a.end(), ws.cached_a.begin());
 }
 
@@ -67,18 +73,19 @@ struct VebTabulatedAdapter {
 // compressed the original keys) and a cache miss skips re-deriving it.
 template <typename Adapter>
 void run_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
-              WlisWorkspace& ws, WlisResult& res, bool rank_space_ready) {
+              WlisWorkspace& ws, WlisResult& res, bool rank_space_ready,
+              uint64_t content_hash) {
   int64_t n = static_cast<int64_t>(a.size());
-  const bool reuse = values_cached(ws, a);
+  const bool reuse = values_cached(ws, a, content_hash);
   if (!reuse) {
-    ws.cache_valid = false;
-    ws.tree_ready = false;
+    ws.invalidate_cache();
     if (!rank_space_ready) {
       rank_space_into<int64_t>(a, TiesPolicy::kStrict, ws.rank_space,
                                ws.rank_scratch);
     }
     lis_frontiers_into<int64_t>(a, ws.frontiers, ws.tournament);
     ws.cached_a.assign(a.begin(), a.end());
+    ws.cached_hash = content_hash;
     ws.cache_valid = true;
   }
   Adapter ad(ws, reuse);
@@ -135,7 +142,7 @@ void run_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
 
 void wlis_dispatch(std::span<const int64_t> a, std::span<const int64_t> w,
                    WlisWorkspace& ws, WlisResult& out, WlisStructure structure,
-                   bool rank_space_ready) {
+                   bool rank_space_ready, uint64_t content_hash) {
   assert(a.size() == w.size());
   out.dp.clear();
   out.best = 0;
@@ -143,13 +150,14 @@ void wlis_dispatch(std::span<const int64_t> a, std::span<const int64_t> w,
   if (a.empty()) return;
   switch (structure) {
     case WlisStructure::kRangeTree:
-      run_wlis<TreeAdapter>(a, w, ws, out, rank_space_ready);
+      run_wlis<TreeAdapter>(a, w, ws, out, rank_space_ready, content_hash);
       return;
     case WlisStructure::kRangeVeb:
-      run_wlis<VebAdapter>(a, w, ws, out, rank_space_ready);
+      run_wlis<VebAdapter>(a, w, ws, out, rank_space_ready, content_hash);
       return;
     case WlisStructure::kRangeVebTabulated:
-      run_wlis<VebTabulatedAdapter>(a, w, ws, out, rank_space_ready);
+      run_wlis<VebTabulatedAdapter>(a, w, ws, out, rank_space_ready,
+                                    content_hash);
       return;
   }
 }
@@ -158,7 +166,17 @@ void wlis_dispatch(std::span<const int64_t> a, std::span<const int64_t> w,
 
 void wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
                WlisWorkspace& ws, WlisResult& out, WlisStructure structure) {
-  wlis_dispatch(a, w, ws, out, structure, /*rank_space_ready=*/false);
+  wlis_dispatch(a, w, ws, out, structure, /*rank_space_ready=*/false,
+                content_hash64(a));
+}
+
+void wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
+               uint64_t content_hash, WlisWorkspace& ws, WlisResult& out,
+               WlisStructure structure) {
+  assert(content_hash == content_hash64(a) &&
+         "precomputed hash must describe a");
+  wlis_dispatch(a, w, ws, out, structure, /*rank_space_ready=*/false,
+                content_hash);
 }
 
 void wlis_compressed_into(std::span<const int64_t> ranks,
@@ -170,7 +188,8 @@ void wlis_compressed_into(std::span<const int64_t> ranks,
   assert(ranks.data() == ws.rank_space.rank.data() &&
          ranks.size() == ws.rank_space.rank.size() &&
          "ws.rank_space must be the rank_space_into output describing ranks");
-  wlis_dispatch(ranks, w, ws, out, structure, /*rank_space_ready=*/true);
+  wlis_dispatch(ranks, w, ws, out, structure, /*rank_space_ready=*/true,
+                content_hash64(ranks));
 }
 
 WlisResult wlis(std::span<const int64_t> a, std::span<const int64_t> w,

@@ -47,6 +47,14 @@ void wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
                WlisWorkspace& ws, WlisResult& out,
                WlisStructure structure = WlisStructure::kRangeTree);
 
+/// Like wlis_into, but the caller supplies content_hash64(a) — for callers
+/// that maintain the hash incrementally (LisSession keeps its window's hash
+/// rolling at O(1) per append), so the warm-path guard needs no O(n) pass
+/// of its own. The hash must describe `a` exactly (debug-asserted).
+void wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
+               uint64_t content_hash, WlisWorkspace& ws, WlisResult& out,
+               WlisStructure structure = WlisStructure::kRangeTree);
+
 /// Rank-space entry point (what the Solver's generic-key overloads drive):
 /// the caller ran rank_space_into over the original keys into
 /// ws.rank_space and passes ws.rank_space.rank itself here (asserted —

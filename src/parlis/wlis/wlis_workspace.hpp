@@ -58,15 +58,26 @@ struct WlisWorkspace {
   // function of the value array `a`, while the weights only enter the
   // per-round dp computation. A session serving repeated queries over a
   // hot value sequence (same series, different weight models) therefore
-  // skips the whole preparation: wlis_into compares `a` against cached_a
-  // (O(n) equality check, no hashing heuristics) and on a hit re-runs only
+  // skips the whole preparation: wlis_into checks `a` against the cache —
+  // size, then the 64-bit content hash, then (only on a hash match, so
+  // collisions stay correct) a full std::equal — and on a hit re-runs only
   // the rounds against score-reset structures. A miss rebuilds and
-  // re-primes the cache. Invariant: cache_valid implies frontiers and
-  // rank_space describe cached_a — anything that clobbers them for a
-  // different sequence must clear the flags.
+  // re-primes the cache. Invariant: cache_valid implies frontiers,
+  // rank_space, AND cached_hash describe cached_a — anything that clobbers
+  // any of them for a different sequence must call invalidate_cache().
   std::vector<int64_t> cached_a;
+  uint64_t cached_hash = 0;  // content_hash64(cached_a) while cache_valid
   bool cache_valid = false;  // frontiers / rank space match cached_a
   bool tree_ready = false;   // tree's rank/bridge tables match cached_a
+
+  // The one sanctioned way to poison the cache: every site that overwrites
+  // frontiers / rank_space / tree tables out-of-band (SWGS reusing the
+  // workspace, tests clobbering state) goes through this, so the invariant
+  // above has a single chokepoint to audit.
+  void invalidate_cache() {
+    cache_valid = false;
+    tree_ready = false;
+  }
 };
 
 }  // namespace parlis
