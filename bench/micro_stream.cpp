@@ -61,6 +61,49 @@ double median(std::vector<double>& v) {
   return v[(v.size() - 1) / 2];
 }
 
+// Block-interleaved guard delta measurement: the same stream feeds both
+// sessions in alternating 1024-tick blocks — separately-measured rows
+// cannot resolve a 2% delta through this host's run-to-run drift. Two
+// biases to cancel: the second runner of a block sees a[s..e) cache-warm
+// (~30% on this host), so the order flips every block; and CPU frequency
+// drifts across the run, so blocks are grouped into 4-block units (both
+// orders represented) and the returned overhead is the median of per-unit
+// time ratios — each ratio spans ~4 adjacent blocks of wall clock, inside
+// which drift is negligible. Returns {s1 per-tick seconds (unit medians),
+// s2/s1 ratio median}.
+std::pair<double, double> append_per_tick_pair(LisSession& s1, LisSession& s2,
+                                               const std::vector<int64_t>& a) {
+  std::vector<double> b1, b2;
+  int64_t n = static_cast<int64_t>(a.size());
+  int64_t block_idx = 0;
+  for (int64_t s = 0; s < n; s += kBlock, block_idx++) {
+    int64_t e = std::min(n, s + kBlock);
+    LisSession& first = (block_idx & 1) ? s2 : s1;
+    LisSession& second = (block_idx & 1) ? s1 : s2;
+    std::vector<double>& bf = (block_idx & 1) ? b2 : b1;
+    std::vector<double>& bs = (block_idx & 1) ? b1 : b2;
+    Timer t;
+    for (int64_t i = s; i < e; i++) first.append(a[i]);
+    bf.push_back(t.elapsed() / static_cast<double>(e - s));
+    t.reset();
+    for (int64_t i = s; i < e; i++) second.append(a[i]);
+    bs.push_back(t.elapsed() / static_cast<double>(e - s));
+  }
+  size_t units = std::min(b1.size(), b2.size()) / 2;
+  std::vector<double> ratios;
+  for (size_t u = 0; u + 1 < 2 * units; u += 2) {
+    double t1 = b1[u] + b1[u + 1];  // one s1-first + one s2-first block
+    double t2 = b2[u] + b2[u + 1];
+    if (t1 > 0) ratios.push_back(t2 / t1);
+  }
+  // The reported level is the block median (the same statistic as the
+  // append row — unit sums would absorb the rerank spikes the block median
+  // deliberately excludes); only the overhead ratio uses the units.
+  double base = median(b1);
+  if (ratios.empty()) return {base, 1.0};
+  return {base, median(ratios)};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +196,55 @@ int main(int argc, char** argv) {
     emit("append_dense", n, -1, ns, -1, -1);
   }
 
+  // ------------------------------------------------------ append_guard ---
+  // Failure-semantics delta row: the same grow-only append stream through a
+  // Solver carrying a live CancelToken plus a far deadline. Every tick then
+  // pays the guard admission (amortized exec-context poll; see
+  // LisSession::append); the pin is that the guard overhead stays <= 2% of
+  // the per-tick median. Both sides are re-measured here, block-interleaved
+  // in one pass per rep — the `append` row above is a separate run and
+  // differs from this row's unguarded side by ordinary drift.
+  double guard_overhead_pct = 0.0;
+  double guard_base_ns = 0.0;
+  {
+    Options g;
+    g.cancel = CancelToken::make();
+    g.deadline_ms = int64_t{3600} * 1000;
+    Solver gs(g);
+    std::vector<double> plain_meds, ratio_meds;
+    int64_t k_guard = 0, k_plain = 0;
+    for (int r = 0; r < reps; r++) {
+      LisSession ps = solver.make_session();
+      LisSession gsess = gs.make_session();
+      auto [pm, ratio] = append_per_tick_pair(ps, gsess, a);
+      plain_meds.push_back(pm);
+      ratio_meds.push_back(ratio);
+      k_plain = ps.length();
+      k_guard = gsess.length();
+    }
+    guard_base_ns = median(plain_meds) * 1e9;
+    guard_overhead_pct = 100.0 * (median(ratio_meds) - 1.0);
+    double ns = guard_base_ns * (1.0 + guard_overhead_pct / 100.0);
+    std::printf("%-14s per-tick median %8.0f ns   (%+.2f%% vs %.0f ns "
+                "unguarded, interleaved)\n",
+                "append_guard", ns, guard_overhead_pct, guard_base_ns);
+    if (k_guard != k_stream || k_plain != k_stream) {
+      std::printf("MISMATCH: guarded stream LIS %lld vs unguarded %lld\n",
+                  static_cast<long long>(k_guard),
+                  static_cast<long long>(k_stream));
+      return 1;
+    }
+    JsonRecord rec;
+    rec.field("bench", "micro_stream")
+        .field("op", "append_guard")
+        .field("n", n)
+        .field("threads", num_workers())
+        .field("per_tick_ns", ns)
+        .field("unguarded_per_tick_ns", guard_base_ns)
+        .field("overhead_pct", guard_overhead_pct);
+    json.add(rec);
+  }
+
   // ----------------------------------------------------------- sliding ---
   {
     Options w;
@@ -228,5 +320,13 @@ int main(int argc, char** argv) {
               "n=%lld): %s (%.0fx)%s\n",
               static_cast<long long>(n), pass ? "PASS" : "FAIL", ratio,
               flags.has("strict") ? "" : " (advisory; --strict gates exit)");
-  return flags.has("strict") && !pass ? 2 : 0;
+  // Per-tick ns medians on short CI streams sit near timer resolution, so
+  // the guard pin gets a noise floor: pass if within 2% or within 10 ns.
+  bool guard_pass = guard_overhead_pct <= 2.0 ||
+                    guard_base_ns * guard_overhead_pct / 100.0 <= 10.0;
+  std::printf("guard overhead (token+deadline <= 2%% per append tick): %s "
+              "(%+.2f%%)%s\n",
+              guard_pass ? "PASS" : "FAIL", guard_overhead_pct,
+              flags.has("strict") ? "" : " (advisory; --strict gates exit)");
+  return flags.has("strict") && !(pass && guard_pass) ? 2 : 0;
 }

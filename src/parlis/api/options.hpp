@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "parlis/parallel/parallel.hpp"  // kPoolGateGrain
+#include "parlis/util/cancel.hpp"        // CancelToken
 #include "parlis/util/rank_space.hpp"    // TiesPolicy
 #include "parlis/wlis/wlis.hpp"          // WlisStructure
 
@@ -61,6 +62,30 @@ struct Options {
   /// ignores window_capacity; the sliding modes require capacity >= 1.
   WindowMode window = WindowMode::kGrowOnly;
   int64_t window_capacity = 0;
+
+  /// Cooperative cancellation. A default-constructed token never cancels;
+  /// pass CancelToken::make() and call request_cancel() from any thread to
+  /// stop in-flight work. Every Solver entry point (and LisSession
+  /// append/delta_resolve) polls it at round boundaries and unwinds with
+  /// Error{kCancelled}, leaving the session warm state coherent — the next
+  /// solve on the same Solver behaves exactly like a cold one.
+  CancelToken cancel;
+
+  /// Per-call deadline in milliseconds, measured from entry into each
+  /// solve_* / append / delta_resolve call; 0 means none. Exceeding it
+  /// unwinds with Error{kDeadlineExceeded} at the next round boundary
+  /// (cooperative — a single round is never interrupted mid-flight).
+  int64_t deadline_ms = 0;
+
+  /// Upper bound on solver scratch memory in bytes; 0 means unlimited.
+  /// Checked against the documented size estimates of the structures a
+  /// solve would build (validated against the arenas' real accounting by
+  /// the fault tests). When the parallel structures do not fit, the solve
+  /// degrades to the sequential fallback (patience sorting / the AVL
+  /// sweep), which needs O(n) words; if even that exceeds the budget the
+  /// call throws Error{kBudgetExceeded} before allocating. SWGS paths have
+  /// no sequential fallback and throw when over budget.
+  uint64_t memory_budget_bytes = 0;
 };
 
 }  // namespace parlis

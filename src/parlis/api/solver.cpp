@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/scheduler.hpp"
 #include "parlis/stream/lis_session.hpp"
+#include "parlis/util/failpoint.hpp"
+#include "parlis/wlis/range_tree.hpp"
+#include "parlis/wlis/seq_avl.hpp"
 
 namespace parlis {
 
@@ -21,6 +25,7 @@ struct Solver::ThreadCtx {
   RankSpaceScratch lis_scratch;
   LisResult lis_res;
   WlisResult wlis_res;
+  std::vector<int64_t> tails;  // patience-fallback scratch (budget path)
 };
 
 // A claimable context: `busy` is taken for the duration of one packed
@@ -50,12 +55,101 @@ RankSpace& Solver::lis_rank_space() { return main_ctx_->lis_rs; }
 RankSpaceScratch& Solver::lis_rank_scratch() { return main_ctx_->lis_scratch; }
 LisResult& Solver::scratch_lis_result() { return main_ctx_->lis_res; }
 
+// ---- Memory-budget admission ------------------------------------------
+//
+// Documented scratch-size models, per element, deliberately generous (the
+// fault tests pin each against the structures' real accounting — e.g. the
+// range tree's arena reserved_bytes). They exist so a budget decision can
+// be made *before* the structures allocate; exactness is not the goal,
+// never-under-estimating is.
+
+size_t Solver::rank_space_bytes(int64_t n) {
+  // order/pos/rank/qpos (4 x int64) + sort scratch and per-block carries.
+  return static_cast<size_t>(n) * 48 + (size_t{1} << 16);
+}
+
+size_t Solver::lis_scratch_bytes(int64_t n) {
+  // Tournament blocks + top + count arrays (~20B/elem) and the rank output.
+  return static_cast<size_t>(n) * 40 + (size_t{1} << 16);
+}
+
+size_t Solver::lis_fallback_bytes(int64_t n) {
+  // Patience tails (<= k int64) + the rank output.
+  return static_cast<size_t>(n) * 12 + (size_t{1} << 16);
+}
+
+size_t Solver::wlis_scratch_bytes(int64_t n) {
+  // LIS phase + frontiers + cached values + update batch + query buffers +
+  // dp output, plus the range tree's own documented estimate.
+  return lis_scratch_bytes(n) + static_cast<size_t>(n) * 56 +
+         RangeTreeMax::estimate_build_bytes(n);
+}
+
+size_t Solver::wlis_fallback_bytes(int64_t n) {
+  // Seq-AVL node pool (~48B/node) + dp output + patience tails.
+  return static_cast<size_t>(n) * 64 + (size_t{1} << 16);
+}
+
+size_t Solver::swgs_scratch_bytes(int64_t n) {
+  // Wake-up rounds: subscriber lists (vector header + entry per object),
+  // awake/certificate/frontier buffers, the dominance oracle, and — on the
+  // weighted path, the worst case this models — the dominant-max tree.
+  return static_cast<size_t>(n) * 96 + RangeTreeMax::estimate_build_bytes(n) +
+         (size_t{1} << 16);
+}
+
+Solver::BudgetPlan Solver::budget_plan(size_t full_bytes, size_t fallback_bytes,
+                                       const char* what) const {
+  const uint64_t budget = opts_.memory_budget_bytes;
+  if (budget == 0 || full_bytes <= budget) return BudgetPlan::kFull;
+  if (fallback_bytes <= budget) return BudgetPlan::kFallback;
+  throw Error(ErrorCode::kBudgetExceeded,
+              std::string(what) + ": estimated " +
+                  std::to_string(fallback_bytes) +
+                  " bytes for the sequential fallback exceed "
+                  "Options::memory_budget_bytes = " +
+                  std::to_string(budget));
+}
+
+void Solver::budget_require(size_t bytes, const char* what) const {
+  const uint64_t budget = opts_.memory_budget_bytes;
+  if (budget != 0 && bytes > budget) {
+    throw Error(ErrorCode::kBudgetExceeded,
+                std::string(what) + ": estimated " + std::to_string(bytes) +
+                    " bytes exceed Options::memory_budget_bytes = " +
+                    std::to_string(budget) + " (no sequential fallback)");
+  }
+}
+
+void Solver::wlis_fallback(std::span<const int64_t> a,
+                           std::span<const int64_t> w, WlisResult& out,
+                           ThreadCtx& ctx) {
+  seq_avl_wlis_into(a, w, out.dp);
+  out.best = 0;
+  for (int64_t v : out.dp) out.best = std::max(out.best, v);
+  seq_patience_ranks_into<int64_t>(a, ctx.lis_res, ctx.tails);
+  out.k = ctx.lis_res.k;
+}
+
+void Solver::wlis_fallback(std::span<const int64_t> a,
+                           std::span<const int64_t> w, WlisResult& out) {
+  wlis_fallback(a, w, out, *main_ctx_);
+}
+
 void Solver::solve_lis(std::span<const int64_t> a, LisResult& out) {
   if (opts_.ties == TiesPolicy::kNonDecreasing) {
     solve_lis<int64_t>(a, out);  // ties matter: go through rank space
     return;
   }
+  internal::CancelScope scope(opts_.cancel, opts_.deadline_ms);
+  internal::poll_cancellation();
   ThreadSequentialGuard guard(below_cutoff(a.size()));
+  const int64_t n = static_cast<int64_t>(a.size());
+  if (budget_plan(lis_scratch_bytes(n), lis_fallback_bytes(n), "solve_lis") ==
+      BudgetPlan::kFallback) {
+    seq_patience_ranks_into<int64_t>(a, out, fallback_tails_);
+    return;
+  }
   lis_ranks_into<int64_t>(a, out, main_ctx_->tour);
 }
 
@@ -65,7 +159,15 @@ void Solver::solve_lis_frontiers(std::span<const int64_t> a,
     solve_lis_frontiers<int64_t>(a, out);
     return;
   }
+  internal::CancelScope scope(opts_.cancel, opts_.deadline_ms);
+  internal::poll_cancellation();
   ThreadSequentialGuard guard(below_cutoff(a.size()));
+  const int64_t n = static_cast<int64_t>(a.size());
+  if (budget_plan(lis_scratch_bytes(n), lis_fallback_bytes(n),
+                  "solve_lis_frontiers") == BudgetPlan::kFallback) {
+    seq_patience_frontiers_into<int64_t>(a, out, fallback_tails_);
+    return;
+  }
   lis_frontiers_into<int64_t>(a, out, main_ctx_->tour);
 }
 
@@ -76,12 +178,33 @@ int64_t Solver::lis_length(std::span<const int64_t> a) {
 
 void Solver::solve_wlis(std::span<const int64_t> a,
                         std::span<const int64_t> w, WlisResult& out) {
+  if (a.size() != w.size()) {
+    throw Error(ErrorCode::kInvalidArgument, "solve_wlis: |w| must equal |a|");
+  }
   if (opts_.ties == TiesPolicy::kNonDecreasing) {
     solve_wlis<int64_t>(a, w, out);
     return;
   }
+  internal::CancelScope scope(opts_.cancel, opts_.deadline_ms);
+  internal::poll_cancellation();
   ThreadSequentialGuard guard(below_cutoff(a.size()));
-  wlis_into(a, w, main_ctx_->wlis, out, opts_.structure);
+  const int64_t n = static_cast<int64_t>(a.size());
+  WlisWorkspace& ws = main_ctx_->wlis;
+  // Strict raw values compare directly, so the fallback skips the
+  // rank-space pass entirely — and leaves the workspace (and its warm
+  // cache) untouched.
+  if (budget_plan(rank_space_bytes(n) + wlis_scratch_bytes(n),
+                  wlis_fallback_bytes(n),
+                  "solve_wlis") == BudgetPlan::kFallback) {
+    wlis_fallback(a, w, out);
+    return;
+  }
+  try {
+    wlis_into(a, w, ws, out, opts_.structure);
+  } catch (...) {
+    ws.invalidate_cache();
+    throw;
+  }
 }
 
 void Solver::solve_swgs(std::span<const int64_t> a, LisResult& out,
@@ -90,56 +213,117 @@ void Solver::solve_swgs(std::span<const int64_t> a, LisResult& out,
     solve_swgs<int64_t>(a, out, stats);
     return;
   }
+  internal::CancelScope scope(opts_.cancel, opts_.deadline_ms);
+  internal::poll_cancellation();
   ThreadSequentialGuard guard(below_cutoff(a.size()));
+  budget_require(swgs_scratch_bytes(static_cast<int64_t>(a.size())),
+                 "solve_swgs");
   swgs_lis_ranks_into(a, opts_.seed, out, stats);
 }
 
 void Solver::solve_swgs_wlis(std::span<const int64_t> a,
                              std::span<const int64_t> w, WlisResult& out,
                              SwgsStats* stats) {
+  if (a.size() != w.size()) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "solve_swgs_wlis: |w| must equal |a|");
+  }
   if (opts_.ties == TiesPolicy::kNonDecreasing) {
     solve_swgs_wlis<int64_t>(a, w, out, stats);
     return;
   }
+  internal::CancelScope scope(opts_.cancel, opts_.deadline_ms);
+  internal::poll_cancellation();
   ThreadSequentialGuard guard(below_cutoff(a.size()));
+  const int64_t n = static_cast<int64_t>(a.size());
+  budget_require(rank_space_bytes(n) + swgs_scratch_bytes(n),
+                 "solve_swgs_wlis");
+  // swgs_wlis_into invalidates the workspace cache both up front and on
+  // any throw out of the rounds, so no extra chokepoint is needed here.
   swgs_wlis_into(a, w, opts_.seed, main_ctx_->wlis, out, stats);
 }
 
+// Validates one Query's shape; shared by solve_many's fail-fast pre-pass
+// and solve_query's own defensive check (the pre-pass means a malformed
+// batch surfaces before any query runs; the in-query check covers direct
+// callers of solve_query added later).
+static void validate_query(const Query& q) {
+  const size_t n = q.a.size();
+  if (!q.w.empty() && q.w.size() != n) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "solve_many: weighted query needs |w| == |a|");
+  }
+  if (!q.rank_out.empty() && q.rank_out.size() < n) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "solve_many: rank_out smaller than |a|");
+  }
+  if (!q.dp_out.empty() && q.dp_out.size() < n) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "solve_many: dp_out smaller than |a|");
+  }
+}
+
 void Solver::solve_query(const Query& q, QueryResult& r, ThreadCtx& ctx) {
+  validate_query(q);
   const int64_t n = static_cast<int64_t>(q.a.size());
   const bool nondec = opts_.ties == TiesPolicy::kNonDecreasing;
   if (q.w.empty()) {
+    const size_t rank_cost = nondec ? rank_space_bytes(n) : 0;
+    const bool fallback =
+        budget_plan(rank_cost + lis_scratch_bytes(n),
+                    rank_cost + lis_fallback_bytes(n),
+                    "solve_many") == BudgetPlan::kFallback;
     if (nondec) {
       rank_space_into<int64_t>(q.a, TiesPolicy::kNonDecreasing, ctx.lis_rs,
                                ctx.lis_scratch);
-      lis_ranks_into<int64_t>(std::span<const int64_t>(ctx.lis_rs.rank),
-                              ctx.lis_res, ctx.tour, n);
+      std::span<const int64_t> ranks(ctx.lis_rs.rank);
+      if (fallback) {
+        seq_patience_ranks_into<int64_t>(ranks, ctx.lis_res, ctx.tails);
+      } else {
+        lis_ranks_into<int64_t>(ranks, ctx.lis_res, ctx.tour, n);
+      }
+    } else if (fallback) {
+      seq_patience_ranks_into<int64_t>(q.a, ctx.lis_res, ctx.tails);
     } else {
       lis_ranks_into<int64_t>(q.a, ctx.lis_res, ctx.tour);
     }
     r.k = ctx.lis_res.k;
     r.best = ctx.lis_res.k;
     if (!q.rank_out.empty()) {
-      assert(static_cast<int64_t>(q.rank_out.size()) >= n);
       const int32_t* src = ctx.lis_res.rank.data();
       int32_t* dst = q.rank_out.data();
       parallel_for(0, n, [&](int64_t i) { dst[i] = src[i]; });
     }
   } else {
-    assert(q.w.size() == q.a.size());
-    if (nondec) {
-      rank_space_into<int64_t>(q.a, TiesPolicy::kNonDecreasing,
-                               ctx.wlis.rank_space, ctx.wlis.rank_scratch);
-      wlis_compressed_into(
-          std::span<const int64_t>(ctx.wlis.rank_space.rank), q.w, ctx.wlis,
-          ctx.wlis_res, opts_.structure);
-    } else {
-      wlis_into(q.a, q.w, ctx.wlis, ctx.wlis_res, opts_.structure);
+    const size_t rank_cost = nondec ? rank_space_bytes(n) : 0;
+    const bool fallback =
+        budget_plan(rank_space_bytes(n) + wlis_scratch_bytes(n),
+                    rank_cost + wlis_fallback_bytes(n),
+                    "solve_many") == BudgetPlan::kFallback;
+    try {
+      if (nondec) {
+        rank_space_into<int64_t>(q.a, TiesPolicy::kNonDecreasing,
+                                 ctx.wlis.rank_space, ctx.wlis.rank_scratch);
+        std::span<const int64_t> ranks(ctx.wlis.rank_space.rank);
+        if (fallback) {
+          ctx.wlis.invalidate_cache();  // rank space clobbered, cache cold
+          wlis_fallback(ranks, q.w, ctx.wlis_res, ctx);
+        } else {
+          wlis_compressed_into(ranks, q.w, ctx.wlis, ctx.wlis_res,
+                               opts_.structure);
+        }
+      } else if (fallback) {
+        wlis_fallback(q.a, q.w, ctx.wlis_res, ctx);
+      } else {
+        wlis_into(q.a, q.w, ctx.wlis, ctx.wlis_res, opts_.structure);
+      }
+    } catch (...) {
+      ctx.wlis.invalidate_cache();
+      throw;
     }
     r.k = ctx.wlis_res.k;
     r.best = ctx.wlis_res.best;
     if (!q.dp_out.empty()) {
-      assert(static_cast<int64_t>(q.dp_out.size()) >= n);
       const int64_t* src = ctx.wlis_res.dp.data();
       int64_t* dst = q.dp_out.data();
       parallel_for(0, n, [&](int64_t i) { dst[i] = src[i]; });
@@ -151,8 +335,19 @@ LisSession Solver::make_session() { return LisSession(*this); }
 
 void Solver::solve_many(std::span<const Query> queries,
                         std::span<QueryResult> results) {
-  assert(results.size() >= queries.size());
+  if (results.size() < queries.size()) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "solve_many: |results| must be >= |queries|");
+  }
   const int64_t nq = static_cast<int64_t>(queries.size());
+  // Fail fast: surface any malformed query before the batch does any work.
+  for (int64_t i = 0; i < nq; i++) validate_query(queries[i]);
+  // One context for the whole batch — the deadline is anchored here and
+  // shared by the packed tasks (each re-installs it on its own thread).
+  const internal::ExecContext batch_ctx =
+      internal::make_exec_context(opts_.cancel, opts_.deadline_ms);
+  internal::CancelScope scope(batch_ctx);
+  internal::poll_cancellation();
   // Large queries first, one at a time with intra-query parallelism: they
   // saturate the pool on their own, and finishing them before the packed
   // phase keeps the tail of the batch load-balanced.
@@ -183,6 +378,12 @@ void Solver::solve_many(std::span<const Query> queries,
   parallel_for(
       0, static_cast<int64_t>(small_idx_.size()),
       [&](int64_t t) {
+        // Packed tasks run on pool threads, outside the caller's
+        // thread-local scope: re-install the batch context (same token,
+        // same entry-anchored deadline) so the query's round loops poll it.
+        internal::CancelScope task_scope(batch_ctx);
+        internal::poll_cancellation();
+        PARLIS_FAILPOINT("solver.packed_query");
         CtxSlot* held = nullptr;
         const size_t start = static_cast<size_t>(pool_thread_id() + 1);
         for (size_t k = 0; k < ctx_n_; k++) {
@@ -201,9 +402,17 @@ void Solver::solve_many(std::span<const Query> queries,
           overflow = std::make_unique<ThreadCtx>();
           ctx = overflow.get();
         }
-        {
+        // The claimed slot must come back even when the query throws
+        // (cancellation, injected fault): a stuck busy flag would leak the
+        // slot for every later batch.
+        try {
           ThreadSequentialGuard seq(true);
           solve_query(queries[small_idx_[t]], results[small_idx_[t]], *ctx);
+        } catch (...) {
+          if (held != nullptr) {
+            held->busy.store(false, std::memory_order_release);
+          }
+          throw;
         }
         if (held != nullptr) {
           held->busy.store(false, std::memory_order_release);

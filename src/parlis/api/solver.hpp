@@ -32,6 +32,15 @@
 // plain vectors-of-results; pass the same instance back in and its capacity
 // is reused. Results are valid until the output struct is reused; the
 // Solver keeps no pointers into them.
+//
+// Failure semantics: invalid arguments (span-size mismatches, undersized
+// output spans) throw parlis::Error{kInvalidArgument} in every build mode —
+// never UB. Options.cancel / Options.deadline_ms are polled at frontier-
+// round boundaries and unwind as Error{kCancelled} / Error{kDeadlineExceeded};
+// Options.memory_budget_bytes degrades a too-large solve to the sequential
+// fallback (patience sorting / Seq-AVL) or throws Error{kBudgetExceeded}.
+// Any failure unwinds through the workspace cache-invalidation chokepoints,
+// so a post-failure solve on the same Solver is bit-identical to a cold one.
 #pragma once
 
 #include <cassert>
@@ -46,6 +55,8 @@
 #include "parlis/lis/lis.hpp"
 #include "parlis/lis/tournament_tree.hpp"
 #include "parlis/swgs/swgs.hpp"
+#include "parlis/util/error.hpp"
+#include "parlis/util/exec_context.hpp"
 #include "parlis/util/rank_space.hpp"
 #include "parlis/wlis/wlis.hpp"
 #include "parlis/wlis/wlis_workspace.hpp"
@@ -81,6 +92,15 @@ class Solver {
 
   const Options& options() const { return opts_; }
 
+  /// Re-arm cancellation between solves without rebuilding the solver:
+  /// workspaces are keyed to the structural options, so swapping only the
+  /// token / deadline keeps them warm (the natural shape for a per-request
+  /// token over a long-lived solver). A default-constructed token disables
+  /// cancellation; deadline 0 disables the deadline. Not safe concurrently
+  /// with a running solve or a bound session's append.
+  void set_cancel(CancelToken token) { opts_.cancel = std::move(token); }
+  void set_deadline_ms(int64_t deadline_ms) { opts_.deadline_ms = deadline_ms; }
+
   /// Unweighted LIS ranks (Alg. 1) of `a` into `out`, under options().ties.
   void solve_lis(std::span<const int64_t> a, LisResult& out);
 
@@ -90,12 +110,21 @@ class Solver {
   /// comparators — with zero steady-state allocations when warm.
   template <typename Key, typename Less = std::less<Key>>
   void solve_lis(std::span<const Key> a, LisResult& out, Less less = Less{}) {
+    internal::CancelScope scope(opts_.cancel, opts_.deadline_ms);
+    internal::poll_cancellation();
     ThreadSequentialGuard guard(below_cutoff(a.size()));
+    const int64_t n = static_cast<int64_t>(a.size());
     RankSpace& rs = lis_rank_space();
     rank_space_into<Key, Less>(a, opts_.ties, rs, lis_rank_scratch(), less);
+    if (budget_plan(rank_space_bytes(n) + lis_scratch_bytes(n),
+                    rank_space_bytes(n) + lis_fallback_bytes(n),
+                    "solve_lis") == BudgetPlan::kFallback) {
+      seq_patience_ranks_into<int64_t>(std::span<const int64_t>(rs.rank), out,
+                                       fallback_tails_);
+      return;
+    }
     lis_ranks_into<int64_t>(std::span<const int64_t>(rs.rank), out,
-                            main_tournament(),
-                            static_cast<int64_t>(a.size()));
+                            main_tournament(), n);
   }
 
   /// Custom-order form over raw int64 values (no rank reduction):
@@ -105,7 +134,15 @@ class Solver {
   template <typename Less>
   void solve_lis(std::span<const int64_t> a, LisResult& out, int64_t inf,
                  Less less) {
+    internal::CancelScope scope(opts_.cancel, opts_.deadline_ms);
+    internal::poll_cancellation();
     ThreadSequentialGuard guard(below_cutoff(a.size()));
+    const int64_t n = static_cast<int64_t>(a.size());
+    if (budget_plan(lis_scratch_bytes(n), lis_fallback_bytes(n),
+                    "solve_lis") == BudgetPlan::kFallback) {
+      seq_patience_ranks_into<int64_t, Less>(a, out, fallback_tails_, less);
+      return;
+    }
     lis_ranks_into<int64_t, Less>(a, out, main_tournament(), inf, less);
   }
 
@@ -118,12 +155,21 @@ class Solver {
   template <typename Key, typename Less = std::less<Key>>
   void solve_lis_frontiers(std::span<const Key> a, LisFrontiers& out,
                            Less less = Less{}) {
+    internal::CancelScope scope(opts_.cancel, opts_.deadline_ms);
+    internal::poll_cancellation();
     ThreadSequentialGuard guard(below_cutoff(a.size()));
+    const int64_t n = static_cast<int64_t>(a.size());
     RankSpace& rs = lis_rank_space();
     rank_space_into<Key, Less>(a, opts_.ties, rs, lis_rank_scratch(), less);
+    if (budget_plan(rank_space_bytes(n) + lis_scratch_bytes(n),
+                    rank_space_bytes(n) + lis_fallback_bytes(n),
+                    "solve_lis_frontiers") == BudgetPlan::kFallback) {
+      seq_patience_frontiers_into<int64_t>(std::span<const int64_t>(rs.rank),
+                                           out, fallback_tails_);
+      return;
+    }
     lis_frontiers_into<int64_t>(std::span<const int64_t>(rs.rank), out,
-                                main_tournament(),
-                                static_cast<int64_t>(a.size()));
+                                main_tournament(), n);
   }
 
   /// LIS length only.
@@ -150,13 +196,35 @@ class Solver {
   template <typename Key, typename Less = std::less<Key>>
   void solve_wlis(std::span<const Key> a, std::span<const int64_t> w,
                   WlisResult& out, Less less = Less{}) {
-    assert(a.size() == w.size());
+    if (a.size() != w.size()) {
+      throw Error(ErrorCode::kInvalidArgument,
+                  "solve_wlis: |w| must equal |a|");
+    }
+    internal::CancelScope scope(opts_.cancel, opts_.deadline_ms);
+    internal::poll_cancellation();
     ThreadSequentialGuard guard(below_cutoff(a.size()));
+    const int64_t n = static_cast<int64_t>(a.size());
     WlisWorkspace& ws = main_wlis();
-    rank_space_into<Key, Less>(a, opts_.ties, ws.rank_space, ws.rank_scratch,
-                               less);
-    wlis_compressed_into(std::span<const int64_t>(ws.rank_space.rank), w, ws,
-                         out, opts_.structure);
+    // Chokepoint: any throw below (a torn rank-space pass included) leaves
+    // the workspace marked cold, so the next solve rebuilds from scratch.
+    try {
+      rank_space_into<Key, Less>(a, opts_.ties, ws.rank_space, ws.rank_scratch,
+                                 less);
+      if (budget_plan(rank_space_bytes(n) + wlis_scratch_bytes(n),
+                      rank_space_bytes(n) + wlis_fallback_bytes(n),
+                      "solve_wlis") == BudgetPlan::kFallback) {
+        // The fallback bypasses the cached structures but has clobbered the
+        // workspace's rank space: mark the cache cold.
+        ws.invalidate_cache();
+        wlis_fallback(std::span<const int64_t>(ws.rank_space.rank), w, out);
+        return;
+      }
+      wlis_compressed_into(std::span<const int64_t>(ws.rank_space.rank), w, ws,
+                           out, opts_.structure);
+    } catch (...) {
+      ws.invalidate_cache();
+      throw;
+    }
   }
 
   /// SWGS baseline, unweighted (seed from Options), under options().ties.
@@ -168,7 +236,11 @@ class Solver {
   template <typename Key, typename Less = std::less<Key>>
   void solve_swgs(std::span<const Key> a, LisResult& out,
                   SwgsStats* stats = nullptr, Less less = Less{}) {
+    internal::CancelScope scope(opts_.cancel, opts_.deadline_ms);
+    internal::poll_cancellation();
     ThreadSequentialGuard guard(below_cutoff(a.size()));
+    const int64_t n = static_cast<int64_t>(a.size());
+    budget_require(rank_space_bytes(n) + swgs_scratch_bytes(n), "solve_swgs");
     RankSpace& rs = lis_rank_space();
     rank_space_into<Key, Less>(a, opts_.ties, rs, lis_rank_scratch(), less);
     swgs_lis_ranks_into(std::span<const int64_t>(rs.rank), opts_.seed, out,
@@ -187,13 +259,26 @@ class Solver {
   void solve_swgs_wlis(std::span<const Key> a, std::span<const int64_t> w,
                        WlisResult& out, SwgsStats* stats = nullptr,
                        Less less = Less{}) {
-    assert(a.size() == w.size());
+    if (a.size() != w.size()) {
+      throw Error(ErrorCode::kInvalidArgument,
+                  "solve_swgs_wlis: |w| must equal |a|");
+    }
+    internal::CancelScope scope(opts_.cancel, opts_.deadline_ms);
+    internal::poll_cancellation();
     ThreadSequentialGuard guard(below_cutoff(a.size()));
+    const int64_t n = static_cast<int64_t>(a.size());
+    budget_require(rank_space_bytes(n) + swgs_scratch_bytes(n),
+                   "solve_swgs_wlis");
     WlisWorkspace& ws = main_wlis();
-    rank_space_into<Key, Less>(a, opts_.ties, ws.rank_space, ws.rank_scratch,
-                               less);
-    swgs_wlis_compressed_into(std::span<const int64_t>(ws.rank_space.rank),
-                              w, opts_.seed, ws, out, stats);
+    try {
+      rank_space_into<Key, Less>(a, opts_.ties, ws.rank_space, ws.rank_scratch,
+                                 less);
+      swgs_wlis_compressed_into(std::span<const int64_t>(ws.rank_space.rank),
+                                w, opts_.seed, ws, out, stats);
+    } catch (...) {
+      ws.invalidate_cache();
+      throw;
+    }
   }
 
   /// Batched serving: solves queries[i] into results[i] for every i.
@@ -239,6 +324,32 @@ class Solver {
     return static_cast<int64_t>(n) <= opts_.sequential_cutoff;
   }
 
+  // Memory-budget admission (Options::memory_budget_bytes). The byte
+  // figures are documented scratch-size models (README "Failure
+  // semantics"), deliberately generous; the fault tests pin each one >= the
+  // structures' real accounting. budget_plan picks the full parallel build
+  // when it fits, the sequential fallback when only that fits, and throws
+  // Error{kBudgetExceeded} otherwise; budget_require is the no-fallback
+  // form (SWGS has no sequential twin).
+  enum class BudgetPlan { kFull, kFallback };
+  BudgetPlan budget_plan(size_t full_bytes, size_t fallback_bytes,
+                         const char* what) const;
+  void budget_require(size_t bytes, const char* what) const;
+  static size_t rank_space_bytes(int64_t n);
+  static size_t lis_scratch_bytes(int64_t n);
+  static size_t lis_fallback_bytes(int64_t n);
+  static size_t wlis_scratch_bytes(int64_t n);
+  static size_t wlis_fallback_bytes(int64_t n);
+  static size_t swgs_scratch_bytes(int64_t n);
+  // Sequential WLIS degradation: Seq-AVL dp sweep + patience length. `a`
+  // must compare strictly (raw values or a rank image). The first form runs
+  // on the caller-thread context; the ctx form is for solve_many's packed
+  // runners, whose scratch must not alias the shared members.
+  void wlis_fallback(std::span<const int64_t> a, std::span<const int64_t> w,
+                     WlisResult& out);
+  void wlis_fallback(std::span<const int64_t> a, std::span<const int64_t> w,
+                     WlisResult& out, ThreadCtx& ctx);
+
   void solve_query(const Query& q, QueryResult& r, ThreadCtx& ctx);
   // Accessors into the caller-thread context (main_ctx_), so the template
   // entry points above can reach the workspaces without the header seeing
@@ -263,6 +374,7 @@ class Solver {
   std::unique_ptr<CtxSlot[]> ctx_;
   size_t ctx_n_ = 0;
   std::vector<int64_t> small_idx_;      // batch partition scratch
+  std::vector<int64_t> fallback_tails_;  // patience-fallback scratch
 };
 
 }  // namespace parlis

@@ -22,6 +22,8 @@
 
 #include "parlis/lis/tournament_tree.hpp"
 #include "parlis/parallel/parallel.hpp"
+#include "parlis/util/exec_context.hpp"
+#include "parlis/util/failpoint.hpp"
 #include "parlis/util/rank_space.hpp"
 
 namespace parlis {
@@ -58,10 +60,75 @@ void lis_ranks_into(std::span<const T> a, LisResult& res,
   TournamentTree<T, Less> tree(a, inf, ws, less);
   int32_t r = 0;
   while (!tree.empty()) {
+    // Round boundary: the one cancellation/deadline poll of the LIS kernel
+    // (one thread-local load when no scope is installed).
+    internal::poll_cancellation();
+    PARLIS_FAILPOINT("lis.round");
     ++r;
     tree.extract_frontier([&](int64_t i) { res.rank[i] = r; });
   }
   res.k = r;
+}
+
+/// Sequential patience-sorting fallback with the same output contract as
+/// lis_ranks_into: the Solver's memory-budget degradation path. O(n log k)
+/// time on the calling thread; scratch is `tails` only (O(k) words, reused
+/// across calls). Polls cancellation every few thousand elements.
+template <typename T, typename Less = std::less<T>>
+void seq_patience_ranks_into(std::span<const T> a, LisResult& res,
+                             std::vector<T>& tails, Less less = Less{}) {
+  res.rank.assign(a.size(), 0);
+  res.k = 0;
+  tails.clear();
+  for (size_t i = 0; i < a.size(); i++) {
+    if ((i & 4095) == 0) internal::poll_cancellation();
+    auto it = std::lower_bound(tails.begin(), tails.end(), a[i], less);
+    res.rank[i] = static_cast<int32_t>(it - tails.begin()) + 1;
+    if (it == tails.end()) {
+      tails.push_back(a[i]);
+    } else if (less(a[i], *it)) {
+      *it = a[i];
+    }
+  }
+  res.k = static_cast<int32_t>(tails.size());
+}
+
+/// Frontier-materializing form of the patience fallback (the budget
+/// degradation of solve_lis_frontiers): ranks via patience, then one
+/// counting pass lays the frontiers out flat, index-ascending per round —
+/// the same layout lis_frontiers_into produces.
+template <typename T, typename Less = std::less<T>>
+void seq_patience_frontiers_into(std::span<const T> a, LisFrontiers& res,
+                                 std::vector<T>& tails, Less less = Less{}) {
+  const int64_t n = static_cast<int64_t>(a.size());
+  res.rank.assign(a.size(), 0);
+  res.k = 0;
+  res.frontier_flat.resize(n);
+  tails.clear();
+  for (int64_t i = 0; i < n; i++) {
+    if ((i & 4095) == 0) internal::poll_cancellation();
+    auto it = std::lower_bound(tails.begin(), tails.end(), a[i], less);
+    res.rank[i] = static_cast<int32_t>(it - tails.begin()) + 1;
+    if (it == tails.end()) {
+      tails.push_back(a[i]);
+    } else if (less(a[i], *it)) {
+      *it = a[i];
+    }
+  }
+  res.k = static_cast<int32_t>(tails.size());
+  res.frontier_offset.assign(static_cast<size_t>(res.k) + 1, 0);
+  for (int64_t i = 0; i < n; i++) res.frontier_offset[res.rank[i]]++;
+  for (int32_t r = 0; r < res.k; r++) {
+    res.frontier_offset[r + 1] += res.frontier_offset[r];
+  }
+  // Place each index at its frontier's cursor; iterating i ascending keeps
+  // every frontier sorted by index. Cursors run in a copy so the offsets
+  // stay the exclusive-prefix layout the consumers expect.
+  std::vector<int64_t> cursor(res.frontier_offset.begin(),
+                              res.frontier_offset.end() - 1);
+  for (int64_t i = 0; i < n; i++) {
+    res.frontier_flat[cursor[res.rank[i] - 1]++] = i;
+  }
 }
 
 /// One-shot form of lis_ranks_into.
@@ -105,6 +172,8 @@ void lis_frontiers_into(std::span<const T> a, LisFrontiers& res,
   int32_t r = 0;
   int64_t off = 0;
   while (!tree.empty()) {
+    internal::poll_cancellation();
+    PARLIS_FAILPOINT("lis.round");
     ++r;
     const int64_t m =
         tree.extract_frontier_collect_into(res.frontier_flat.data() + off);

@@ -9,6 +9,15 @@
 // thieves. An uncontended loop therefore runs as a plain sequential loop
 // with one atomic op per block, and task count scales with the number of
 // steals (O(p) in the steady state), not with the range length.
+//
+// Exceptions: the first body exception to reach a frame wins; it trips a
+// cancel flag shared by every descriptor of the original loop (checked at
+// each block claim and before each thief split — one relaxed load per
+// grain-sized block), the siblings drain without starting new blocks, the
+// frame joins everything it advertised, and the exception rethrows from
+// parallel_for on the calling thread. Which iterations beyond the throwing
+// one ran is unspecified — same contract as a sequential loop, where
+// everything after the throw is skipped.
 #pragma once
 
 #include <atomic>
@@ -36,16 +45,20 @@ constexpr uint64_t pack_range(uint32_t lo, uint32_t hi) {
 
 // Shared descriptor for one contiguous chunk of a parallel_for. Lives on
 // the advertising frame's stack (the frame joins before returning).
+// `cancel` is the one flag of the original top-level loop, threaded through
+// every re-advertised descriptor so a throw anywhere stops every sibling.
 template <typename F>
 struct RangeWork {
   std::atomic<uint64_t> state;  // packed (lo, hi) offsets from base
   int64_t base;
   int64_t grain;
   const F* f;
+  std::atomic<bool>* cancel;
 };
 
 template <typename F>
-void parallel_for_lazy(int64_t lo, int64_t hi, int64_t grain, const F& f);
+void parallel_for_lazy(int64_t lo, int64_t hi, int64_t grain, const F& f,
+                       std::atomic<bool>* cancel);
 
 // Thief-side entry: split the upper half of whatever remains off the
 // victim's descriptor and process it as a new lazily-split range. The lo
@@ -54,6 +67,7 @@ void parallel_for_lazy(int64_t lo, int64_t hi, int64_t grain, const F& f);
 template <typename F>
 void range_steal_entry(void* arg) {
   auto& r = *static_cast<RangeWork<F>*>(arg);
+  if (r.cancel->load(std::memory_order_relaxed)) return;  // sibling threw
   uint64_t s = r.state.load(std::memory_order_relaxed);
   while (true) {
     int64_t lo = static_cast<int64_t>(s >> 32);
@@ -63,25 +77,29 @@ void range_steal_entry(void* arg) {
     if (r.state.compare_exchange_weak(
             s, pack_range(static_cast<uint32_t>(lo), static_cast<uint32_t>(mid)),
             std::memory_order_acq_rel, std::memory_order_relaxed)) {
-      parallel_for_lazy(r.base + mid, r.base + hi, r.grain, *r.f);
+      parallel_for_lazy(r.base + mid, r.base + hi, r.grain, *r.f, r.cancel);
       return;
     }
   }
 }
 
 template <typename F>
-void parallel_for_lazy(int64_t lo, int64_t hi, int64_t grain, const F& f) {
+void parallel_for_lazy(int64_t lo, int64_t hi, int64_t grain, const F& f,
+                       std::atomic<bool>* cancel) {
   int64_t n = hi - lo;
   if (n <= grain) {
     for (int64_t i = lo; i < hi; i++) f(i);
     return;
   }
-  RangeWork<F> r{{pack_range(0, static_cast<uint32_t>(n))}, lo, grain, &f};
+  RangeWork<F> r{{pack_range(0, static_cast<uint32_t>(n))}, lo, grain, &f,
+                 cancel};
   std::atomic<uint32_t> pending{1};
+  ExceptionSlot exc;
   RawTask t;
   t.fn = &range_steal_entry<F>;
   t.arg = &r;
   t.pending = &pending;
+  t.exc = &exc;
   pool_push(&t);
   // Owner loop: claim grain-sized blocks off the low end — one fetch_add
   // per block. The returned word is a consistent snapshot (thief CASes on
@@ -90,17 +108,42 @@ void parallel_for_lazy(int64_t lo, int64_t hi, int64_t grain, const F& f) {
   // overlap. The final add may overshoot a drained range by one block; the
   // snapshot shows lo >= hi and the claim is empty.
   const uint64_t step = static_cast<uint64_t>(grain) << 32;
-  while (true) {
-    uint64_t s = r.state.fetch_add(step, std::memory_order_acq_rel);
-    int64_t clo = static_cast<int64_t>(s >> 32);
-    int64_t chi = static_cast<int64_t>(s & 0xffffffffull);
-    if (clo >= chi) break;
-    int64_t blo = lo + clo;
-    int64_t bhi = lo + (clo + grain < chi ? clo + grain : chi);
-    for (int64_t i = blo; i < bhi; i++) f(i);
-    if (clo + grain >= chi) break;  // this claim reached the snapshot's end
+  try {
+    while (!cancel->load(std::memory_order_relaxed)) {
+      uint64_t s = r.state.fetch_add(step, std::memory_order_acq_rel);
+      int64_t clo = static_cast<int64_t>(s >> 32);
+      int64_t chi = static_cast<int64_t>(s & 0xffffffffull);
+      if (clo >= chi) break;
+      int64_t blo = lo + clo;
+      int64_t bhi = lo + (clo + grain < chi ? clo + grain : chi);
+      for (int64_t i = blo; i < bhi; i++) f(i);
+      if (clo + grain >= chi) break;  // this claim reached the snapshot's end
+    }
+  } catch (...) {
+    // First throw on this frame: stop every sibling, join whatever was
+    // stolen off this descriptor, and let this exception win the frame (a
+    // concurrently captured thief exception is dropped — first wins).
+    cancel->store(true, std::memory_order_relaxed);
+    if (!pool_pop_if(&t)) pool_wait(pending);
+    throw;
   }
   if (!pool_pop_if(&t)) pool_wait(pending);  // join any stolen upper halves
+  exc.rethrow_if_set();
+}
+
+// Pre-split recursion for ranges past the packed 32-bit descriptor limit;
+// every leaf shares the top-level cancel flag so an exception in one half
+// stops block claims in the other before the join rethrows.
+template <typename F>
+void parallel_for_presplit(int64_t lo, int64_t hi, int64_t grain, const F& f,
+                           std::atomic<bool>* cancel) {
+  if (hi - lo < kMaxLazyRange) {
+    parallel_for_lazy(lo, hi, grain, f, cancel);
+    return;
+  }
+  int64_t mid = lo + (hi - lo) / 2;
+  par_do([&] { parallel_for_presplit(lo, mid, grain, f, cancel); },
+         [&] { parallel_for_presplit(mid, hi, grain, f, cancel); });
 }
 
 }  // namespace internal
@@ -114,7 +157,9 @@ inline constexpr int64_t kPoolGateGrain = 2048;
 
 /// Applies f(i) for every i in [lo, hi) in parallel. `grain` is the largest
 /// block executed sequentially between scheduler interactions; 0 picks a
-/// default (~8 blocks per worker, capped at 4096 iterations).
+/// default (~8 blocks per worker, capped at 4096 iterations). If f throws,
+/// the first exception is rethrown here after every outstanding block is
+/// joined; iterations past the throwing one may or may not have run.
 template <typename F>
 void parallel_for(int64_t lo, int64_t hi, const F& f, int64_t grain = 0) {
   if (hi <= lo) return;
@@ -137,14 +182,12 @@ void parallel_for(int64_t lo, int64_t hi, const F& f, int64_t grain = 0) {
     for (int64_t i = lo; i < hi; i++) f(i);
     return;
   }
+  std::atomic<bool> cancelled{false};
   if (n >= internal::kMaxLazyRange) {
-    // Pre-split so offsets fit the packed 32-bit descriptor.
-    int64_t mid = lo + n / 2;
-    par_do([&] { parallel_for(lo, mid, f, grain); },
-           [&] { parallel_for(mid, hi, f, grain); });
+    internal::parallel_for_presplit(lo, hi, grain, f, &cancelled);
     return;
   }
-  internal::parallel_for_lazy(lo, hi, grain, f);
+  internal::parallel_for_lazy(lo, hi, grain, f, &cancelled);
 }
 
 }  // namespace parlis

@@ -2,6 +2,7 @@
 
 #include "parlis/parallel/chase_lev_deque.hpp"
 #include "parlis/parallel/worker_counter.hpp"
+#include "parlis/util/failpoint.hpp"
 
 #include <algorithm>
 #include <chrono>
@@ -64,6 +65,7 @@ class Pool {
   int num_workers() const { return p_; }
 
   void push(RawTask* t) {
+    PARLIS_FAILPOINT_YIELD("scheduler.spawn");
     int id = tl_worker_id;
     if (id >= 0) {
       // Pool worker (or the creating thread): lock-free single-owner push.
@@ -182,11 +184,26 @@ class Pool {
     // The descriptor may be freed by the joining frame as soon as pending
     // hits zero, so the decrement is the last access to either object.
     std::atomic<uint32_t>* pending = t->pending;
-    t->fn(t->arg);
+    ExceptionSlot* exc = t->exc;
+    try {
+      t->fn(t->arg);
+    } catch (...) {
+      // Capture BEFORE the decrement: the joining frame, seeing pending ==
+      // 0 with acquire, then sees the finished capture and rethrows on its
+      // own stack. Both fork sites (par_do, parallel_for_lazy) always
+      // attach a slot; a slotless descriptor rethrows and terminates, same
+      // as the pre-exception-safety scheduler — never a silent swallow.
+      if (exc == nullptr) {
+        pending->fetch_sub(1, std::memory_order_acq_rel);
+        throw;
+      }
+      exc->capture(std::current_exception());
+    }
     pending->fetch_sub(1, std::memory_order_acq_rel);
   }
 
   bool try_steal_one(int id) {
+    PARLIS_FAILPOINT_YIELD("scheduler.steal");
     // Randomized starting victim breaks convoys when several workers go
     // hunting at once.
     thread_local uint64_t rng = 0x9e3779b97f4a7c15ull ^
@@ -262,6 +279,7 @@ class Pool {
   }
 
   void park() {
+    PARLIS_FAILPOINT_YIELD("scheduler.park");
     // Register as a sleeper *before* the final work re-check (seq_cst RMW,
     // so the re-check cannot be hoisted above it), then sleep with a long
     // timeout. The pusher side deliberately reads sleepers_ without a

@@ -23,10 +23,20 @@
 // overridden either with the PARLIS_NUM_THREADS environment variable or
 // programmatically with set_num_workers() *before* first use (tests use 4
 // to exercise concurrency even on single-core machines).
+//
+// Exception safety: a task body that throws does NOT take the process down.
+// Pool::run captures the exception into the forking frame's ExceptionSlot
+// (first capture wins) before decrementing the join counter, and the join
+// on the spawning thread rethrows it — so par_do / parallel_for propagate
+// exceptions exactly like their sequential equivalents would, across
+// nesting and the external submission queue alike. parallel_for
+// additionally trips a shared cancel flag so sibling block claims stop
+// early instead of finishing doomed work (parallel.hpp).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <utility>
 
 namespace parlis {
@@ -81,6 +91,39 @@ void reset_scheduler_stats();
 
 namespace internal {
 
+// First-exception-wins capture slot for one join frame. A throwing task
+// body is caught by Pool::run, which captures here *before* decrementing
+// the frame's pending counter; the joining thread, having observed pending
+// == 0 with acquire ordering, therefore sees a fully-written slot and can
+// rethrow on its own stack. state: 0 = empty, 1 = capture in progress,
+// 2 = set.
+struct ExceptionSlot {
+  std::atomic<int> state{0};
+  std::exception_ptr ep;
+
+  void capture(std::exception_ptr e) noexcept {
+    int expected = 0;
+    if (state.compare_exchange_strong(expected, 1, std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+      ep = std::move(e);
+      state.store(2, std::memory_order_release);
+    }
+    // Lost the race: a sibling's exception was first; this one is dropped
+    // (the contract is "the first exception_ptr reaches the join").
+  }
+
+  // Call only after the frame's join (pending == 0 observed with acquire).
+  void rethrow_if_set() {
+    int st = state.load(std::memory_order_acquire);
+    if (st == 0) return;
+    // A capture that won the CAS finishes before its task's pending
+    // decrement, so st == 2 already for the task this frame joined; the
+    // spin only covers a racing *losing* capturer glimpsed mid-CAS.
+    while (st != 2) st = state.load(std::memory_order_acquire);
+    std::rethrow_exception(ep);
+  }
+};
+
 // A task descriptor. Lives on the stack of the forking frame, which always
 // joins (pop or pending == 0) before returning, so the pointer pushed into
 // the scheduler outlives every access.
@@ -88,6 +131,7 @@ struct RawTask {
   void (*fn)(void*) = nullptr;
   void* arg = nullptr;
   std::atomic<uint32_t>* pending = nullptr;  // decremented after fn runs
+  ExceptionSlot* exc = nullptr;              // where a throwing fn lands
 };
 
 // Pool interface used by par_do / parallel_for. All functions are
@@ -106,6 +150,11 @@ bool pool_started();
 /// Runs `left()` and `right()` potentially in parallel and returns when both
 /// are complete. This is the binary `fork` of the work-span model. The task
 /// descriptor and join counter live on this frame's stack — no allocation.
+///
+/// Exceptions: if either branch throws, par_do still joins the other branch
+/// and then rethrows on the calling thread. When both throw concurrently
+/// (left inline, right stolen), left's exception wins — it is the first to
+/// reach this frame — and the captured right one is dropped.
 template <typename Left, typename Right>
 void par_do(Left&& left, Right&& right) {
   if (sequential_mode() || num_workers() == 1) {
@@ -114,17 +163,27 @@ void par_do(Left&& left, Right&& right) {
     return;
   }
   std::atomic<uint32_t> pending{1};
+  internal::ExceptionSlot exc;
   using R = std::remove_reference_t<Right>;
   internal::RawTask t;
   t.fn = [](void* a) { (*static_cast<R*>(a))(); };
   t.arg = const_cast<std::remove_const_t<R>*>(&right);
   t.pending = &pending;
+  t.exc = &exc;
   internal::pool_push(&t);
-  left();
+  try {
+    left();
+  } catch (...) {
+    // The pushed descriptor lives on this frame: reclaim it (or help until
+    // the thief finishes) before unwinding past it.
+    if (!internal::pool_pop_if(&t)) internal::pool_wait(pending);
+    throw;
+  }
   if (internal::pool_pop_if(&t)) {
-    right();  // not stolen; run inline
+    right();  // not stolen; run inline — a throw propagates directly
   } else {
     internal::pool_wait(pending);  // stolen; help until it finishes
+    exc.rethrow_if_set();
   }
 }
 

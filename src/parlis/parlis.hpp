@@ -24,6 +24,9 @@
 #include "parlis/swgs/swgs.hpp"             // SWGS baseline
 #include "parlis/swgs/dominance_oracle.hpp" // SWGS probe structure
 #include "parlis/util/arena.hpp"            // chunked bump arena
+#include "parlis/util/cancel.hpp"           // CancelToken / CancelSource
+#include "parlis/util/error.hpp"            // parlis::Error + ErrorCode
+#include "parlis/util/failpoint.hpp"        // deterministic fault injection
 #include "parlis/util/rank_space.hpp"       // TiesPolicy + rank compression
 #include "parlis/util/generators.hpp"       // paper input generators
 #include "parlis/util/timer.hpp"

@@ -5,6 +5,9 @@
 #include <limits>
 
 #include "parlis/api/solver.hpp"
+#include "parlis/util/error.hpp"
+#include "parlis/util/exec_context.hpp"
+#include "parlis/util/failpoint.hpp"
 
 namespace parlis {
 
@@ -23,8 +26,11 @@ LisSession::LisSession(Solver& solver)
       ties_(solver.options().ties),
       mode_(solver.options().window),
       capacity_(solver.options().window_capacity) {
-  assert((mode_ == WindowMode::kGrowOnly || capacity_ >= 1) &&
-         "sliding window modes need Options::window_capacity >= 1");
+  if (mode_ != WindowMode::kGrowOnly && capacity_ < 1) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "LisSession: sliding window modes need "
+                "Options::window_capacity >= 1");
+  }
   tops_.emplace(universe_);
 }
 
@@ -55,8 +61,10 @@ void LisSession::expire_for_append() {
 }
 
 void LisSession::pop_front() {
-  assert(size() > 0);
-  if (size() == 0) return;
+  if (size() == 0) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "LisSession::pop_front: session is empty");
+  }
   head_++;
   tops_dirty_ = true;
   fr_valid_ = false;
@@ -65,8 +73,12 @@ void LisSession::pop_front() {
 
 void LisSession::ensure_tops() {
   if (!tops_dirty_) return;
-  tops_dirty_ = false;
+  // Clear the flag only after the replay lands: if rebuild_window throws
+  // (allocation, cancellation, an injected fault) the window stays marked
+  // dirty and the next use replays again from buf_, which the failure never
+  // touched — torn patience state can't be observed.
   rebuild_window();
+  tops_dirty_ = false;
 }
 
 void LisSession::rebuild_window() {
@@ -87,11 +99,34 @@ void LisSession::rebuild_window() {
 // ------------------------------------------------------------------ append
 
 int64_t LisSession::append(int64_t value) {
+  // Guard admission, amortized: with a token or deadline configured, one
+  // tick in 64 installs the exec-context scope and polls — a deadline poll
+  // reads the steady clock, which a sub-microsecond tick cannot afford
+  // every time. Trip latency is thus bounded at 64 ticks, and a throwing
+  // poll does not advance the counter, so the first append (and any retry
+  // after a trip) always fails fast on a pre-tripped token.
+  const Options& opts = solver_->options();
+  if ((opts.cancel.valid() || opts.deadline_ms > 0) && guard_tick_ == 0) {
+    internal::CancelScope scope(opts.cancel, opts.deadline_ms);
+    internal::poll_cancellation();
+  }
+  guard_tick_ = (guard_tick_ + 1) & 63;
+  PARLIS_FAILPOINT("stream.append");
   expire_for_append();
   ensure_tops();
   buf_.push_back(value);
-  hash_ = content_hash_append(hash_, value);
-  patience_push(value);
+  try {
+    hash_ = content_hash_append(hash_, value);
+    patience_push(value);
+  } catch (...) {
+    // Un-admit: a failed append leaves the session as if it was never
+    // called. The patience tops / rolling hash may be torn mid-push, so the
+    // window is marked dirty and replays (from the untouched buf_) lazily.
+    buf_.pop_back();
+    tops_dirty_ = true;
+    fr_valid_ = false;
+    throw;
+  }
   fr_valid_ = false;
   return piles_;
 }
@@ -286,8 +321,32 @@ int64_t LisSession::delta_resolve(std::span<const int64_t> new_values,
                                   int64_t prefix_keep, int64_t suffix_keep) {
   const int64_t n_new = static_cast<int64_t>(new_values.size());
   const int64_t n_old = size();
-  assert(prefix_keep >= 0 && suffix_keep >= 0 &&
-         prefix_keep + suffix_keep <= std::min(n_old, n_new));
+  if (prefix_keep < 0 || suffix_keep < 0 ||
+      prefix_keep + suffix_keep > std::min(n_old, n_new)) {
+    throw Error(ErrorCode::kInvalidArgument,
+                "LisSession::delta_resolve: prefix_keep/suffix_keep out of "
+                "range for the old and new windows");
+  }
+  internal::CancelScope scope(solver_->options().cancel,
+                              solver_->options().deadline_ms);
+  internal::poll_cancellation();
+  try {
+    return delta_resolve_body(new_values, prefix_keep, suffix_keep);
+  } catch (...) {
+    // Coherence chokepoint: whatever buf_ holds (the old window during the
+    // scratch phase, the new one once adoption started) is the source of
+    // truth; every derived structure is marked for lazy rebuild from it.
+    tops_dirty_ = true;
+    fr_valid_ = false;
+    throw;
+  }
+}
+
+int64_t LisSession::delta_resolve_body(std::span<const int64_t> new_values,
+                                       int64_t prefix_keep,
+                                       int64_t suffix_keep) {
+  const int64_t n_new = static_cast<int64_t>(new_values.size());
+  const int64_t n_old = size();
   ensure_tops();
   if (!fr_valid_) {
     // Nothing cached to delta against: adopt wholesale and solve once.
@@ -370,6 +429,7 @@ int64_t LisSession::delta_resolve(std::span<const int64_t> new_values,
   // through the cached replay (both needed so the suffix comparison below
   // compares states at the same logical time).
   for (int64_t i = p; i < n_new - suffix_keep; i++) {
+    if (((i - p) & 4095) == 0) internal::poll_cancellation();
     new_rank_[i] = live_push(new_values[i]);
   }
   for (int64_t i = p; i < n_old - suffix_keep; i++) {

@@ -80,8 +80,10 @@ class Solver;
 class LisSession {
  public:
   /// Binds to `solver` (which must outlive the session) and adopts its
-  /// Options — ties policy, window mode/capacity. Prefer
-  /// Solver::make_session().
+  /// Options — ties policy, window mode/capacity, cancellation token and
+  /// deadline. Prefer Solver::make_session(). Throws
+  /// Error{kInvalidArgument} when a sliding window mode is configured with
+  /// window_capacity < 1.
   explicit LisSession(Solver& solver);
 
   LisSession(LisSession&&) = default;
@@ -91,10 +93,17 @@ class LisSession {
 
   /// Appends one element (retiring old ones first per the window mode) and
   /// returns the LIS length of the live window. Amortized O(log log u).
+  /// Honors the bound Solver's Options::cancel / deadline_ms, polling on
+  /// the first tick and then once every 64 (deadline polls read the clock;
+  /// a trip is detected within 64 ticks and a pre-tripped token fails
+  /// fast). On any throw (cancellation, allocation failure, injected
+  /// fault) the append is un-admitted — the session behaves as if the call
+  /// never happened.
   int64_t append(int64_t value);
 
   /// Retires the oldest live element. Lazy: consecutive pops coalesce into
-  /// one replay of the survivors at the next query/append.
+  /// one replay of the survivors at the next query/append. Throws
+  /// Error{kInvalidArgument} when the session is empty.
   void pop_front();
 
   /// LIS length of the live window.
@@ -124,7 +133,10 @@ class LisSession {
   /// window (debug-asserted). Reuses the cached frontiers for the prefix
   /// and the convergence trick for the suffix; falls back to a plain
   /// re-solve when no solve is cached. Returns the new LIS length, leaves
-  /// frontiers() primed.
+  /// frontiers() primed. Out-of-range prefix_keep/suffix_keep throw
+  /// Error{kInvalidArgument}; honors the Solver's cancellation/deadline. On
+  /// any throw the derived state is marked dirty and lazily rebuilt from
+  /// the window buffer, which holds either the old or the new values.
   int64_t delta_resolve(std::span<const int64_t> new_values,
                         int64_t prefix_keep, int64_t suffix_keep);
 
@@ -145,6 +157,8 @@ class LisSession {
     int32_t cnt;    // piles currently topped by it (>1 only when nondec)
   };
 
+  int64_t delta_resolve_body(std::span<const int64_t> new_values,
+                             int64_t prefix_keep, int64_t suffix_keep);
   void expire_for_append();
   void compact_if_needed();
   void ensure_tops();         // replay after lazy pops
@@ -191,6 +205,10 @@ class LisSession {
   std::unordered_map<uint64_t, TopEntry> top_at_;
   int64_t piles_ = 0;
   bool tops_dirty_ = false;  // pops pending: replay before next use
+
+  // Amortized guard counter: append polls cancellation/deadline on tick 0
+  // of every 64 (see append for the fail-fast invariant).
+  uint32_t guard_tick_ = 0;
 
   // Cached solve for delta_resolve / frontiers().
   LisFrontiers cached_fr_;

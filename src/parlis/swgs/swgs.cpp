@@ -7,6 +7,8 @@
 #include "parlis/parallel/primitives.hpp"
 #include "parlis/parallel/random.hpp"
 #include "parlis/swgs/dominance_oracle.hpp"
+#include "parlis/util/exec_context.hpp"
+#include "parlis/util/failpoint.hpp"
 #include "parlis/util/rank_space.hpp"
 #include "parlis/wlis/range_tree.hpp"
 #include "parlis/wlis/wlis_workspace.hpp"
@@ -39,6 +41,9 @@ int64_t run_rounds(std::span<const int64_t> a, uint64_t seed,
   int32_t round = 0;
   int64_t total_checks = 0;
   while (!awake.empty()) {
+    // Wake-up-round boundary: cancellation/deadline poll + fault site.
+    internal::poll_cancellation();
+    PARLIS_FAILPOINT("swgs.round");
     round++;
     int64_t m = static_cast<int64_t>(awake.size());
     total_checks += m;
@@ -124,22 +129,31 @@ void swgs_wlis_dispatch(std::span<const int64_t> a, std::span<const int64_t> w,
                              ws.rank_scratch);
   }
   const RankSpace& rsp = ws.rank_space;
-  ws.tree.rebuild(rsp.order);
-  ws.batch.resize(n);  // frontiers partition [0, n): reused across rounds
-  int64_t checks = run_rounds(
-      a, seed, ws.swgs_rank, out.k,
-      [&](int32_t, const std::vector<int64_t>& frontier) {
-        int64_t fn = static_cast<int64_t>(frontier.size());
-        parallel_for(0, fn, [&](int64_t t) {
-          int64_t j = frontier[t];
-          int64_t q = ws.tree.dominant_max(rsp.qpos[j], j);
-          out.dp[j] = w[j] + std::max<int64_t>(0, q);
+  int64_t checks;
+  // The cache was invalidated above, so a throw mid-rounds (cancellation,
+  // injected fault) leaves nothing to clean — but re-invalidate anyway in
+  // case a caller layered state on top between the invalidate and here.
+  try {
+    ws.tree.rebuild(rsp.order);
+    ws.batch.resize(n);  // frontiers partition [0, n): reused across rounds
+    checks = run_rounds(
+        a, seed, ws.swgs_rank, out.k,
+        [&](int32_t, const std::vector<int64_t>& frontier) {
+          int64_t fn = static_cast<int64_t>(frontier.size());
+          parallel_for(0, fn, [&](int64_t t) {
+            int64_t j = frontier[t];
+            int64_t q = ws.tree.dominant_max(rsp.qpos[j], j);
+            out.dp[j] = w[j] + std::max<int64_t>(0, q);
+          });
+          parallel_for(0, fn, [&](int64_t t) {
+            ws.batch[t] = {rsp.pos[frontier[t]], out.dp[frontier[t]]};
+          });
+          ws.tree.update_batch(ws.batch.data(), fn);
         });
-        parallel_for(0, fn, [&](int64_t t) {
-          ws.batch[t] = {rsp.pos[frontier[t]], out.dp[frontier[t]]};
-        });
-        ws.tree.update_batch(ws.batch.data(), fn);
-      });
+  } catch (...) {
+    ws.invalidate_cache();
+    throw;
+  }
   if (stats != nullptr) stats->total_checks = checks;
   out.best = reduce_index<int64_t>(
       0, n, 0, [&](int64_t i) { return out.dp[i]; },

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "parlis/parallel/worker_slots.hpp"
+#include "parlis/util/failpoint.hpp"
 #include "parlis/util/tracking_allocator.hpp"
 
 namespace parlis {
@@ -158,6 +159,12 @@ class Arena {
   // Takes a retained chunk of at least `need` bytes (chunks_[0, reuse_) are
   // in use since the last reset; the rest are free), or allocates a fresh
   // one. Returns its index, now reuse_ - 1. Caller holds mu_.
+  //
+  // Strong guarantee: all fallible work (the system allocation, growing
+  // chunks_) completes before any recycler bookkeeping mutates, so a
+  // bad_alloc — real or injected at "arena.chunk_alloc" — leaves the free
+  // list, reuse_ watermark, and accounting exactly as they were and the
+  // arena stays usable.
   size_t take_chunk(size_t need) {
     for (size_t i = reuse_; i < chunks_.size(); i++) {
       if (chunks_[i].size >= need) {
@@ -165,8 +172,9 @@ class Arena {
         return reuse_++;
       }
     }
-    chunks_.push_back(Chunk{std::unique_ptr<std::byte[]>(new std::byte[need]),
-                            need});
+    PARLIS_FAILPOINT_OOM("arena.chunk_alloc");
+    Chunk fresh{std::unique_ptr<std::byte[]>(new std::byte[need]), need};
+    chunks_.push_back(std::move(fresh));
     reserved_bytes_ += need;
     if (stats_) stats_->on_alloc(need);
     std::swap(chunks_.back(), chunks_[reuse_]);

@@ -1,0 +1,46 @@
+// Cooperative cancellation token.
+//
+// A CancelToken is a shared handle to one atomic flag. The controller side
+// keeps a copy and calls request_cancel() (from any thread, any time); the
+// worker side — a Solver running a solve, a LisSession mid-append — polls
+// it at its round boundaries and surfaces Error{kCancelled} when it trips.
+// Copies share the flag; a default-constructed token is empty and can never
+// be cancelled, so Options carries one by value at zero cost until the user
+// opts in with CancelToken::make().
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace parlis {
+
+class CancelToken {
+ public:
+  /// Empty token: never cancelled, polls are a null-pointer check.
+  CancelToken() = default;
+
+  /// A live token whose copies all observe the same cancellation flag.
+  static CancelToken make() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  /// Trips the flag. Thread-safe; idempotent; no-op on an empty token.
+  void request_cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_release);
+  }
+
+  /// True once request_cancel() has been called on any copy.
+  bool cancel_requested() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True for tokens from make() (an empty token can never trip).
+  bool valid() const { return flag_ != nullptr; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace parlis

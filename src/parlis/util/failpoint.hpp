@@ -1,0 +1,110 @@
+// Named deterministic fault-injection registry.
+//
+// A failpoint is a named site compiled into a hot path that can be armed to
+// misbehave on demand: throw an injected fault, simulate an allocation
+// failure, or perturb scheduling with a delay. Tests arm a site with one of
+// three deterministic triggers —
+//
+//   arm_nth(name, n)            fire exactly once, on the n-th hit
+//   arm_every(name, k)          fire on every k-th hit
+//   arm_probability(name, p, s) fire each hit with probability p (seeded,
+//                               hit-indexed — reruns fire identically)
+//
+// — drive a workload, and assert both that the failure surfaced cleanly
+// (a structured parlis::Error / std::bad_alloc, never terminate or UB) and
+// that the warm state the failure unwound through is still coherent.
+// PARLIS_FAILPOINTS="name=nth:3;other=every:64;third=prob:0.01:42" in the
+// environment arms sites at startup without code changes.
+//
+// Three site macros, picked by what the surrounding code can absorb:
+//
+//   PARLIS_FAILPOINT(name)        throws Error{kFaultInjected}
+//   PARLIS_FAILPOINT_OOM(name)    throws std::bad_alloc (allocation sites,
+//                                 so real-OOM unwinding paths get exercised)
+//   PARLIS_FAILPOINT_YIELD(name)  sleeps ~100us (scheduler spawn/steal/park
+//                                 paths, where a throw has no handler —
+//                                 delay injection perturbs interleavings)
+//
+// Cost model: the macros compile to ((void)0) unless the library is built
+// with -DPARLIS_FAILPOINTS=ON (the CMake option; ON by default in Debug,
+// OFF in Release), so release hot paths carry zero code. Compiled in but
+// disarmed, a site is one static-local guard plus one relaxed atomic load.
+// The registry API below always exists (tests can link against a Release
+// build and skip on enabled() == false).
+#pragma once
+
+#include <cstdint>
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parlis {
+namespace failpoints {
+
+struct Site {
+  std::atomic<uint32_t> mode{0};   // Mode below; 0 = disarmed
+  std::atomic<uint64_t> arg{0};    // nth / k / probability bits
+  std::atomic<uint64_t> seed{0};   // probabilistic trigger seed
+  std::atomic<uint64_t> hits{0};   // evaluations since last arm
+  std::atomic<uint64_t> fires{0};  // times the site fired since last arm
+};
+
+enum class Mode : uint32_t { kOff = 0, kNth = 1, kEvery = 2, kProb = 3 };
+
+/// True when the sites are compiled in (library built with the
+/// PARLIS_FAILPOINTS CMake option). Arming is a no-op otherwise.
+bool enabled();
+
+/// The registry entry for `name`, created on first use. Stable address.
+Site& site(std::string_view name);
+
+void arm_nth(std::string_view name, uint64_t nth);
+void arm_every(std::string_view name, uint64_t k);
+void arm_probability(std::string_view name, double p, uint64_t seed);
+void disarm(std::string_view name);
+void disarm_all();
+
+uint64_t hit_count(std::string_view name);
+uint64_t fire_count(std::string_view name);
+
+/// Canonical list of every site name compiled into the library — the test
+/// matrix iterates this to prove each one can fire.
+std::vector<std::string> registered();
+
+/// Parses the PARLIS_FAILPOINTS environment variable into the registry.
+/// Called automatically on first registry access; idempotent.
+void load_env();
+
+namespace detail {
+// Out-of-line slow path: counts the hit and decides per the armed trigger.
+bool should_fire(Site& s);
+[[noreturn]] void throw_fault(const char* name);
+[[noreturn]] void throw_oom();
+void delay();
+}  // namespace detail
+
+}  // namespace failpoints
+}  // namespace parlis
+
+#if defined(PARLIS_FAILPOINTS_ENABLED)
+#define PARLIS_FAILPOINT_SITE_(name_lit, action)                          \
+  do {                                                                    \
+    static ::parlis::failpoints::Site& parlis_fp_site =                   \
+        ::parlis::failpoints::site(name_lit);                             \
+    if (parlis_fp_site.mode.load(std::memory_order_relaxed) != 0 &&       \
+        ::parlis::failpoints::detail::should_fire(parlis_fp_site)) {      \
+      action;                                                             \
+    }                                                                     \
+  } while (0)
+#define PARLIS_FAILPOINT(name_lit) \
+  PARLIS_FAILPOINT_SITE_(name_lit, ::parlis::failpoints::detail::throw_fault(name_lit))
+#define PARLIS_FAILPOINT_OOM(name_lit) \
+  PARLIS_FAILPOINT_SITE_(name_lit, ::parlis::failpoints::detail::throw_oom())
+#define PARLIS_FAILPOINT_YIELD(name_lit) \
+  PARLIS_FAILPOINT_SITE_(name_lit, ::parlis::failpoints::detail::delay())
+#else
+#define PARLIS_FAILPOINT(name_lit) ((void)0)
+#define PARLIS_FAILPOINT_OOM(name_lit) ((void)0)
+#define PARLIS_FAILPOINT_YIELD(name_lit) ((void)0)
+#endif

@@ -17,6 +17,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "parlis/util/failpoint.hpp"
+
 namespace parlis {
 
 /// Shared sink for allocation events. Plain-old counters; safe to report
@@ -66,6 +68,9 @@ class TrackingAllocator {
   TrackingAllocator(const TrackingAllocator<U>& o) : stats_(o.stats()) {}
 
   T* allocate(size_t n) {
+    // Fault site fires before the accounting, so an injected bad_alloc
+    // never leaves phantom live bytes in the sink.
+    PARLIS_FAILPOINT_OOM("tracking_alloc");
     if (stats_) stats_->on_alloc(n * sizeof(T));
     return static_cast<T*>(::operator new(n * sizeof(T)));
   }

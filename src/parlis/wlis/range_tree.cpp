@@ -6,6 +6,7 @@
 
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/primitives.hpp"
+#include "parlis/util/failpoint.hpp"
 
 namespace parlis {
 
@@ -90,6 +91,24 @@ void RangeTreeMax::rebuild(std::span<const int64_t> y_by_pos) {
   y_ = nullptr;
   scores_ = nullptr;
   if (n_ == 0) return;
+  try {
+    rebuild_body(y_by_pos);
+  } catch (...) {
+    // An allocation failed mid-carve (real OOM or the "rangetree.rebuild" /
+    // "arena.chunk_alloc" failpoints): half-filled levels must never look
+    // queryable, so fall to the defined empty state. The next rebuild on
+    // this object starts from scratch — bit-identical to a cold tree.
+    n_ = 0;
+    levels_.clear();
+    y_ = nullptr;
+    scores_ = nullptr;
+    arena_.reset();
+    throw;
+  }
+}
+
+void RangeTreeMax::rebuild_body(std::span<const int64_t> y_by_pos) {
+  PARLIS_FAILPOINT_OOM("rangetree.rebuild");
   int32_t* y = arena_.create_array_uninit<int32_t>(n_);
   parallel_for(0, n_, [&](int64_t p) {
     assert(y_by_pos[p] >= 0 && y_by_pos[p] < n_ &&
@@ -174,6 +193,29 @@ void RangeTreeMax::rebuild(std::span<const int64_t> y_by_pos) {
     std::swap(cur, nxt);
     fill_level(d, cur);
   }
+}
+
+size_t RangeTreeMax::estimate_build_bytes(int64_t n) {
+  if (n <= 0) return 0;
+  size_t un = static_cast<size_t>(n);
+  // Mirrors the allocation sequence of rebuild_body: y (int32) + scores
+  // (atomic int64) + per materialized level below the root a Fenwick block
+  // array (atomic int64) and a rank table (int32), plus a bridge table
+  // (int32) on every level of width >= 32; the merge scratch (build_cur_ /
+  // build_nxt_) adds two int32 arrays on the heap.
+  int64_t root_width =
+      static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(n)));
+  size_t bytes = un * (sizeof(int32_t) + sizeof(std::atomic<int64_t>));
+  for (int64_t w = root_width; w >= kLeafParentWidth; w /= 2) {
+    if (w != root_width) {
+      bytes += un * (sizeof(std::atomic<int64_t>) + sizeof(int32_t));
+    }
+    if (w >= 2 * kLeafParentWidth) bytes += un * sizeof(int32_t);
+  }
+  bytes += 2 * un * sizeof(int32_t);  // merge scratch
+  // Headroom for alignment padding, unused chunk tails, and the per-level
+  // granularity of the arena: ~10% plus one default chunk.
+  return bytes + bytes / 10 + Arena::kDefaultChunkBytes;
 }
 
 void RangeTreeMax::reset_scores() {

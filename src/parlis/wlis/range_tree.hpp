@@ -102,6 +102,13 @@ class RangeTreeMax {
   /// Bytes the level arrays reserved from the arena (introspection hook).
   size_t pool_reserved_bytes() const { return arena_.reserved_bytes(); }
 
+  /// Upper-bound estimate of the memory a rebuild() over n points reserves
+  /// (arena level arrays plus the heap-backed merge scratch) — what
+  /// Options::memory_budget_bytes admission checks consult before building.
+  /// Deliberately a little generous (padding + one chunk of slack); the
+  /// fault tests pin it >= the real reserved_bytes() accounting.
+  static size_t estimate_build_bytes(int64_t n);
+
  private:
   // Level d covers nodes of width_ >> d positions; levels run from the
   // virtual root (width bit_ceil(n), one node) down to width 16. A node's
@@ -118,6 +125,7 @@ class RangeTreeMax {
     std::atomic<int64_t>* fenwick = nullptr;
   };
 
+  void rebuild_body(std::span<const int64_t> y_by_pos);
   static int64_t fenwick_prefix_max(const std::atomic<int64_t>* f,
                                     int64_t count);
   static void fenwick_update(std::atomic<int64_t>* f, int64_t len,

@@ -109,14 +109,21 @@ class AvlWlis {
 
 }  // namespace
 
-std::vector<int64_t> seq_avl_wlis(const std::vector<int64_t>& a,
-                                  const std::vector<int64_t>& w) {
+void seq_avl_wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
+                       std::vector<int64_t>& dp) {
   AvlWlis tree(a.size());
-  std::vector<int64_t> dp(a.size());
+  dp.assign(a.size(), 0);
   for (size_t i = 0; i < a.size(); i++) {
     dp[i] = w[i] + std::max<int64_t>(0, tree.max_below(a[i]));
     tree.insert(a[i], dp[i]);
   }
+}
+
+std::vector<int64_t> seq_avl_wlis(const std::vector<int64_t>& a,
+                                  const std::vector<int64_t>& w) {
+  std::vector<int64_t> dp;
+  seq_avl_wlis_into(std::span<const int64_t>(a.data(), a.size()),
+                    std::span<const int64_t>(w.data(), w.size()), dp);
   return dp;
 }
 

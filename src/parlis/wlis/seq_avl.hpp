@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace parlis {
@@ -13,5 +14,10 @@ namespace parlis {
 /// dp values of the weighted LIS recurrence (Eq. 2), computed sequentially.
 std::vector<int64_t> seq_avl_wlis(const std::vector<int64_t>& a,
                                   const std::vector<int64_t>& w);
+
+/// Span/buffer-reuse form (what the Solver's memory-budget degradation
+/// drives): dp is resized to |a| and overwritten; O(n) extra space total.
+void seq_avl_wlis_into(std::span<const int64_t> a, std::span<const int64_t> w,
+                       std::vector<int64_t>& dp);
 
 }  // namespace parlis

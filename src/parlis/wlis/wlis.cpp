@@ -7,6 +7,8 @@
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/primitives.hpp"
 #include "parlis/util/content_hash.hpp"
+#include "parlis/util/exec_context.hpp"
+#include "parlis/util/failpoint.hpp"
 #include "parlis/util/rank_space.hpp"
 #include "parlis/wlis/range_structure.hpp"
 #include "parlis/wlis/range_tree.hpp"
@@ -105,6 +107,11 @@ void run_wlis(std::span<const int64_t> a, std::span<const int64_t> w,
     ws.qres.resize(n);
   }
   for (int32_t r = 1; r <= fr.k; r++) {
+    // Round boundary: cancellation/deadline poll + fault-injection site.
+    // A throw here unwinds through wlis_dispatch's cache-invalidation
+    // chokepoint, so a half-updated tree is never mistaken for warm state.
+    internal::poll_cancellation();
+    PARLIS_FAILPOINT("wlis.round");
     const int64_t* f = fr.frontier_flat.data() + fr.frontier_offset[r - 1];
     int64_t fn = fr.frontier_offset[r] - fr.frontier_offset[r - 1];
     // Line 16: all dp values of the frontier in parallel. The frontier is
@@ -148,17 +155,26 @@ void wlis_dispatch(std::span<const int64_t> a, std::span<const int64_t> w,
   out.best = 0;
   out.k = 0;
   if (a.empty()) return;
-  switch (structure) {
-    case WlisStructure::kRangeTree:
-      run_wlis<TreeAdapter>(a, w, ws, out, rank_space_ready, content_hash);
-      return;
-    case WlisStructure::kRangeVeb:
-      run_wlis<VebAdapter>(a, w, ws, out, rank_space_ready, content_hash);
-      return;
-    case WlisStructure::kRangeVebTabulated:
-      run_wlis<VebTabulatedAdapter>(a, w, ws, out, rank_space_ready,
-                                    content_hash);
-      return;
+  // Failure chokepoint: any throw out of the round engine (cancellation,
+  // deadline, injected fault, allocation failure mid-rebuild) invalidates
+  // the value cache before propagating, so the next solve on this
+  // workspace rebuilds everything from scratch — bit-identical to cold.
+  try {
+    switch (structure) {
+      case WlisStructure::kRangeTree:
+        run_wlis<TreeAdapter>(a, w, ws, out, rank_space_ready, content_hash);
+        return;
+      case WlisStructure::kRangeVeb:
+        run_wlis<VebAdapter>(a, w, ws, out, rank_space_ready, content_hash);
+        return;
+      case WlisStructure::kRangeVebTabulated:
+        run_wlis<VebTabulatedAdapter>(a, w, ws, out, rank_space_ready,
+                                      content_hash);
+        return;
+    }
+  } catch (...) {
+    ws.invalidate_cache();
+    throw;
   }
 }
 

@@ -173,6 +173,27 @@ int main() {
   for (int r = 0; r < 5; r++) nd_solver.solve_wlis(r % 2 ? a2 : a, w, wlis_out);
   expect_zero("solve_wlis nondec ties", g_allocs.load() - base);
 
+  // Guarded steady state: a live cancel token plus a (far) deadline install
+  // the exec-context scope on every call, so each round boundary runs a real
+  // poll. The guards — and any compiled-in-but-disarmed failpoint sites on
+  // the path — must add ZERO warm-path allocations. (The token itself
+  // allocates once at make(), outside the window.)
+  Options guard_opts;
+  guard_opts.cancel = CancelToken::make();
+  guard_opts.deadline_ms = int64_t{3600} * 1000;
+  Solver guarded(guard_opts);
+  for (int r = 0; r < 3; r++) {
+    guarded.solve_wlis(a, w, wlis_out);
+    guarded.solve_wlis(a2, w, wlis_out);
+    guarded.solve_lis(a, lis_out);
+  }
+  base = g_allocs.load();
+  for (int r = 0; r < 5; r++) {
+    guarded.solve_wlis(r % 2 ? a2 : a, w, wlis_out);
+    guarded.solve_lis(a, lis_out);
+  }
+  expect_zero("guarded solves (token + deadline)", g_allocs.load() - base);
+
   // Sanity: the results are still right (vs a fresh one-shot call, which
   // of course allocates — outside any measured window).
   WlisResult ref = wlis(a, w);

@@ -4,8 +4,10 @@
 // the sequential-mode switch — the failure modes of help-first schedulers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -228,6 +230,142 @@ TEST(SchedulerStress, GrainExtremes) {
     std::vector<std::atomic<int32_t>> hits(20000);
     parallel_for(0, 20000, [&](int64_t i) { hits[i].fetch_add(1); }, grain);
     for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+// ----------------------------------------------------- exception propagation
+// The failure-semantics contract of the runtime: an exception thrown inside
+// any task — owner or stolen, either par_do arm, any parallel_for block —
+// is captured in the join frame, siblings are cooperatively cancelled, and
+// the (first) exception rethrows at the join on the spawning thread. The
+// pool must come out fully usable. (These run under the TSan CI leg via the
+// SchedulerStress label: capture/rethrow and the cancel flag get raced.)
+
+struct BoomError {
+  int64_t where = 0;
+};
+
+// Every index covered exactly once: the standard post-failure sanity probe
+// that proves no worker died and no deque entry leaked.
+void expect_pool_healthy() {
+  std::vector<std::atomic<int32_t>> hits(50000);
+  parallel_for(0, 50000, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(SchedulerStress, ParDoThrowLeftArm) {
+  std::atomic<int32_t> right_ran{0};
+  EXPECT_THROW(par_do([] { throw BoomError{1}; },
+                      [&] { right_ran.fetch_add(1); }),
+               BoomError);
+  expect_pool_healthy();
+}
+
+TEST(SchedulerStress, ParDoThrowRightArm) {
+  std::atomic<int32_t> left_ran{0};
+  EXPECT_THROW(par_do([&] { left_ran.fetch_add(1); },
+                      [] { throw BoomError{2}; }),
+               BoomError);
+  EXPECT_EQ(left_ran.load(), 1);
+  expect_pool_healthy();
+}
+
+TEST(SchedulerStress, ParDoThrowBothArmsDeliversExactlyOne) {
+  // Both arms throw; first capture wins, the other is swallowed — the join
+  // must deliver exactly one BoomError, never terminate on a second.
+  for (int rep = 0; rep < 50; rep++) {
+    EXPECT_THROW(par_do([] { throw BoomError{1}; },
+                        [] { throw BoomError{2}; }),
+                 BoomError);
+  }
+  expect_pool_healthy();
+}
+
+TEST(SchedulerStress, NestedForkJoinThrowUnwindsToRoot) {
+  // Deep skewed recursion with a throw at one deep leaf: the exception must
+  // climb every join frame back to the root, through helped and stolen
+  // children alike.
+  std::function<int64_t(int64_t, int64_t)> rec = [&](int64_t lo,
+                                                     int64_t hi) -> int64_t {
+    if (hi - lo <= 4) {
+      for (int64_t i = lo; i < hi; i++) {
+        if (i == 100000) throw BoomError{i};
+      }
+      return hi - lo;
+    }
+    int64_t cut = lo + std::max<int64_t>(1, (hi - lo) / 8);
+    int64_t a = 0, b = 0;
+    par_do([&] { a = rec(lo, cut); }, [&] { b = rec(cut, hi); });
+    return a + b;
+  };
+  EXPECT_THROW((void)rec(0, 200000), BoomError);
+  expect_pool_healthy();
+}
+
+TEST(SchedulerStress, ParallelForBodyThrowCancelsSiblings) {
+  for (int rep = 0; rep < 10; rep++) {
+    std::atomic<int64_t> executed{0};
+    try {
+      parallel_for(0, 1 << 20, [&](int64_t i) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (i == 500000) throw BoomError{i};
+      });
+      FAIL() << "parallel_for swallowed the exception";
+    } catch (const BoomError& e) {
+      EXPECT_EQ(e.where, 500000);
+    }
+    // Cooperative cancellation is best-effort, but it must at least beat
+    // running the loop to completion every time.
+    EXPECT_LE(executed.load(), int64_t{1} << 20);
+  }
+  expect_pool_healthy();
+}
+
+TEST(SchedulerStress, ParallelForEveryIterationThrowsDeliversOne) {
+  EXPECT_THROW(
+      parallel_for(0, 100000, [](int64_t i) { throw BoomError{i}; }),
+      BoomError);
+  expect_pool_healthy();
+}
+
+TEST(SchedulerStress, ExternalThreadsObserveExceptions) {
+  // Threads outside the pool join through the external-submission path;
+  // each must get its own exception back while the others' work completes.
+  std::atomic<int32_t> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&ok, t] {
+      for (int rep = 0; rep < 5; rep++) {
+        bool caught = false;
+        try {
+          parallel_for(0, 1 << 16, [&](int64_t i) {
+            if (t % 2 == 0 && i == 30000) throw BoomError{i};
+          });
+        } catch (const BoomError&) {
+          caught = true;
+        }
+        if (caught == (t % 2 == 0)) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok.load(), 4 * 5);
+  expect_pool_healthy();
+}
+
+TEST(SchedulerStress, ThrowStressInterleavedWithRealWork) {
+  // Alternate failing and succeeding regions; the succeeding ones must stay
+  // exact (no lost or duplicated iterations from a prior unwind).
+  for (int rep = 0; rep < 20; rep++) {
+    EXPECT_THROW(parallel_for(0, 100000,
+                              [](int64_t i) {
+                                if (i % 7919 == 0) throw BoomError{i};
+                              }),
+                 BoomError);
+    std::atomic<int64_t> sum{0};
+    parallel_for(0, 10000,
+                 [&](int64_t i) { sum.fetch_add(i, std::memory_order_relaxed); });
+    ASSERT_EQ(sum.load(), int64_t{10000} * 9999 / 2);
   }
 }
 
