@@ -47,6 +47,26 @@ Solver::~Solver() = default;
 Solver::Solver(Solver&&) noexcept = default;
 Solver& Solver::operator=(Solver&&) noexcept = default;
 
+size_t Solver::resident_bytes() const {
+  // Measured footprint of one ThreadCtx: every vector's real capacity plus
+  // the workspace accounting (which reaches the arenas' reserved chunks).
+  auto ctx_bytes = [](const ThreadCtx& c) {
+    return sizeof(ThreadCtx) + c.tour.resident_bytes() +
+           c.wlis.resident_bytes() + c.lis_rs.resident_bytes() +
+           c.lis_scratch.resident_bytes() + c.lis_res.resident_bytes() +
+           c.wlis_res.resident_bytes() + vec_bytes(c.tails);
+  };
+  // Heap bytes only — the object header itself is whoever embeds us (the
+  // table counts it once via sizeof(TenantEntry)).
+  size_t b = vec_bytes(small_idx_) + vec_bytes(fallback_tails_);
+  if (main_ctx_) b += ctx_bytes(*main_ctx_);
+  for (size_t i = 0; i < ctx_n_; i++) {
+    b += sizeof(CtxSlot);
+    if (ctx_[i].ctx) b += ctx_bytes(*ctx_[i].ctx);
+  }
+  return b;
+}
+
 TournamentStorage<int64_t>& Solver::main_tournament() {
   return main_ctx_->tour;
 }

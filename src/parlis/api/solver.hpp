@@ -101,6 +101,23 @@ class Solver {
   void set_cancel(CancelToken token) { opts_.cancel = std::move(token); }
   void set_deadline_ms(int64_t deadline_ms) { opts_.deadline_ms = deadline_ms; }
 
+  /// Re-arm the memory budget between solves (same contract as set_cancel:
+  /// workspaces stay warm, not safe concurrently with a running solve).
+  /// The serving layer points this at its remaining budget headroom before
+  /// each tenant operation, so budget_plan's admission decision — degrade
+  /// to the sequential fallback or throw Error{kBudgetExceeded} before
+  /// allocating — governs tenant growth too. 0 means unlimited.
+  void set_memory_budget_bytes(uint64_t bytes) {
+    opts_.memory_budget_bytes = bytes;
+  }
+
+  /// Measured heap bytes this solver currently holds across every
+  /// workspace it owns (the caller-thread context, the solve_many
+  /// per-runner slots, and the batch scratch): vector capacities plus the
+  /// range structures' reserved arena chunks. The serving layer's
+  /// per-tenant eviction accounting; never an estimate.
+  size_t resident_bytes() const;
+
   /// Unweighted LIS ranks (Alg. 1) of `a` into `out`, under options().ties.
   void solve_lis(std::span<const int64_t> a, LisResult& out);
 

@@ -34,6 +34,9 @@ struct LisResult {
   std::vector<int32_t> rank;
   /// k = LIS length = max rank (0 for empty input).
   int32_t k = 0;
+
+  /// Measured heap bytes held — the serving layer's eviction accounting.
+  size_t resident_bytes() const { return vec_bytes(rank); }
 };
 
 /// Result with the per-round frontiers materialized (needed by WLIS and by
@@ -45,6 +48,11 @@ struct LisFrontiers {
   int32_t k = 0;
   std::vector<int64_t> frontier_flat;
   std::vector<int64_t> frontier_offset;  // size k+1
+
+  size_t resident_bytes() const {
+    return vec_bytes(rank) + vec_bytes(frontier_flat) +
+           vec_bytes(frontier_offset);
+  }
 };
 
 /// Computes all dp values (Alg. 1) into `res`, reusing its buffers and the

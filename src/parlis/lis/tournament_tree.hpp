@@ -59,6 +59,7 @@
 
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/worker_counter.hpp"
+#include "parlis/util/resident.hpp"
 
 namespace parlis {
 
@@ -72,6 +73,13 @@ struct TournamentStorage {
   std::vector<T> top;           // implicit binary tree over block minima
   std::vector<int64_t> count;   // two-pass extraction pass-1 scratch
   WorkerCounter visits;
+
+  /// Measured heap bytes held (vector capacities + the visit counter's
+  /// per-worker slot array); the serving layer's eviction accounting.
+  size_t resident_bytes() const {
+    return vec_bytes(blocks) + vec_bytes(top) + vec_bytes(count) +
+           visits.resident_bytes();
+  }
 };
 
 template <typename T, typename Less = std::less<T>>

@@ -473,4 +473,21 @@ int64_t LisSession::delta_resolve_body(std::span<const int64_t> new_values,
   return piles_;
 }
 
+size_t LisSession::resident_bytes() const {
+  // Vector capacities + the pile vEB's reserved pool chunks + the node
+  // containers' measured allocator traffic (live bytes in the session's
+  // sink cover nodes and bucket arrays alike). sizeof(AllocStats) rides
+  // along because the sink itself is a heap allocation the session owns.
+  size_t b = vec_bytes(buf_) + vec_bytes(tails_) + vec_bytes(tails_cached_) +
+             vec_bytes(scratch_vals_) + vec_bytes(scratch_offsets_) +
+             vec_bytes(scratch_tops_) + vec_bytes(new_rank_) +
+             cached_fr_.resident_bytes() + sizeof(AllocStats);
+  if (tops_.has_value()) b += tops_->pool_reserved_bytes();
+  if (alloc_stats_) {
+    b += static_cast<size_t>(
+        alloc_stats_->live_bytes.load(std::memory_order_relaxed));
+  }
+  return b;
+}
+
 }  // namespace parlis

@@ -62,6 +62,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
 #include <span>
@@ -71,6 +72,8 @@
 #include "parlis/api/options.hpp"
 #include "parlis/lis/lis.hpp"
 #include "parlis/util/content_hash.hpp"
+#include "parlis/util/resident.hpp"
+#include "parlis/util/tracking_allocator.hpp"
 #include "parlis/veb/veb_tree.hpp"
 
 namespace parlis {
@@ -87,7 +90,17 @@ class LisSession {
   explicit LisSession(Solver& solver);
 
   LisSession(LisSession&&) = default;
-  LisSession& operator=(LisSession&&) = default;
+  // Destroy-then-rebuild rather than memberwise: the node containers hold
+  // allocator copies pointing at the target's old alloc_stats_ sink, which
+  // memberwise assignment would free before the containers release their
+  // nodes through it.
+  LisSession& operator=(LisSession&& o) {
+    if (this != &o) {
+      this->~LisSession();
+      new (this) LisSession(std::move(o));
+    }
+    return *this;
+  }
   LisSession(const LisSession&) = delete;
   LisSession& operator=(const LisSession&) = delete;
 
@@ -151,11 +164,30 @@ class LisSession {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Measured heap bytes this session holds: vector capacities, the pile
+  /// vEB's reserved pool chunks, and the node containers' real allocator
+  /// traffic (routed through TrackingAllocator into the session's own
+  /// AllocStats sink — nodes and bucket arrays alike). The serving layer's
+  /// per-tenant eviction accounting; never an estimate. Excludes the bound
+  /// Solver (accounted separately by its owner).
+  size_t resident_bytes() const;
+
  private:
   struct TopEntry {
     int64_t value;  // the value whose rank keys this entry
     int32_t cnt;    // piles currently topped by it (>1 only when nondec)
   };
+
+  // Node-container aliases routing through the session's AllocStats sink,
+  // so resident_bytes() reads measured allocator traffic for the maps/set
+  // (per-node footprints and bucket arrays are implementation-defined —
+  // only the allocator sees the real figures).
+  template <typename K, typename V>
+  using TrackedMap =
+      std::unordered_map<K, V, std::hash<K>, std::equal_to<K>,
+                         TrackingAllocator<std::pair<const K, V>>>;
+  using TrackedSet =
+      std::set<int64_t, std::less<int64_t>, TrackingAllocator<int64_t>>;
 
   int64_t delta_resolve_body(std::span<const int64_t> new_values,
                              int64_t prefix_keep, int64_t suffix_keep);
@@ -177,6 +209,13 @@ class LisSession {
   WindowMode mode_;
   int64_t capacity_;
 
+  // Allocator sink for the node containers below. unique_ptr: the address
+  // must survive moves (every container holds allocator copies pointing at
+  // it). Declared before the containers so it outlives them on
+  // destruction.
+  std::unique_ptr<AllocStats> alloc_stats_ =
+      std::make_unique<AllocStats>();
+
   // Live window: buf_[head_..); compacted when the dead prefix dominates.
   std::vector<int64_t> buf_;
   int64_t head_ = 0;
@@ -195,14 +234,18 @@ class LisSession {
   // novel values. Both describe every value ever seen since the last
   // rerank (a superset of the window — stale entries are harmless and
   // vanish at the next rerank).
-  std::unordered_map<int64_t, uint64_t> val_rank_;
-  std::set<int64_t> dict_;
+  TrackedMap<int64_t, uint64_t> val_rank_{
+      TrackingAllocator<std::pair<const int64_t, uint64_t>>(
+          alloc_stats_.get())};
+  TrackedSet dict_{TrackingAllocator<int64_t>(alloc_stats_.get())};
   uint64_t universe_ = 64;
 
   // Patience pile tops: the vEB holds the rank of every distinct top value,
   // top_at_ the value + pile multiplicity behind each rank.
   std::optional<VebTree> tops_;
-  std::unordered_map<uint64_t, TopEntry> top_at_;
+  TrackedMap<uint64_t, TopEntry> top_at_{
+      TrackingAllocator<std::pair<const uint64_t, TopEntry>>(
+          alloc_stats_.get())};
   int64_t piles_ = 0;
   bool tops_dirty_ = false;  // pops pending: replay before next use
 

@@ -36,6 +36,10 @@ enum class ErrorCode : uint8_t {
   kBudgetExceeded,
   /// A PARLIS_FAILPOINTS injection site fired (fault-testing builds only).
   kFaultInjected,
+  /// The serving engine's admission queue is full and the engine is
+  /// configured to fail fast (serve::BackpressureMode::kReject) instead of
+  /// blocking the caller until a slot frees up.
+  kOverloaded,
 };
 
 constexpr std::string_view error_code_name(ErrorCode c) {
@@ -45,6 +49,7 @@ constexpr std::string_view error_code_name(ErrorCode c) {
     case ErrorCode::kDeadlineExceeded: return "kDeadlineExceeded";
     case ErrorCode::kBudgetExceeded: return "kBudgetExceeded";
     case ErrorCode::kFaultInjected: return "kFaultInjected";
+    case ErrorCode::kOverloaded: return "kOverloaded";
   }
   return "kUnknown";
 }

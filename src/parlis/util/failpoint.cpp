@@ -31,6 +31,9 @@ constexpr const char* kKnownSites[] = {
     "rangetree.rebuild",    // RangeTreeMax::rebuild level carve (OOM)
     "stream.append",        // LisSession::append patience step (fault)
     "solver.packed_query",  // solve_many packed per-query task (fault)
+    "serve.admit",          // SessionTable::acquire entry (fault)
+    "serve.evict",          // SessionTable eviction, pre-mutation (fault)
+    "serve.coalesce",       // Engine coalesced solve_many dispatch (fault)
 };
 
 // Node-stable map so Site& stays valid forever; transparent compare so

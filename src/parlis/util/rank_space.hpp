@@ -35,6 +35,7 @@
 
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/primitives.hpp"
+#include "parlis/util/resident.hpp"
 
 namespace parlis {
 
@@ -59,6 +60,12 @@ struct RankSpace {
   /// dominant-max query. Under kNonDecreasing, qpos == pos.
   std::vector<int64_t> qpos;
   int64_t n_distinct = 0;
+
+  /// Measured heap bytes held (vector capacities) — eviction accounting.
+  size_t resident_bytes() const {
+    return vec_bytes(order) + vec_bytes(pos) + vec_bytes(rank) +
+           vec_bytes(qpos);
+  }
 };
 
 /// Reusable scratch for rank_space_into (merge buffer + per-block run
@@ -67,6 +74,10 @@ struct RankSpaceScratch {
   std::vector<int64_t> sort_buf;
   std::vector<int64_t> carry_qpos;  // incoming run start per block
   std::vector<int64_t> carry_rank;  // incoming dense rank per block
+
+  size_t resident_bytes() const {
+    return vec_bytes(sort_buf) + vec_bytes(carry_qpos) + vec_bytes(carry_rank);
+  }
 };
 
 /// Compresses `keys` into `rs` under `ties`, reusing every buffer in `rs`

@@ -18,6 +18,8 @@
 #include <span>
 #include <vector>
 
+#include "parlis/util/resident.hpp"
+
 namespace parlis {
 
 /// Dominant-max structure for Alg. 2:
@@ -32,6 +34,9 @@ struct WlisResult {
   std::vector<int64_t> dp;  // dp[i] per Eq. (2)
   int64_t best = 0;         // max weighted increasing subsequence sum
   int32_t k = 0;            // LIS length (number of rounds)
+
+  /// Measured heap bytes held — the serving layer's eviction accounting.
+  size_t resident_bytes() const { return vec_bytes(dp); }
 };
 
 struct WlisWorkspace;  // wlis_workspace.hpp

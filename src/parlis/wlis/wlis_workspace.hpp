@@ -78,6 +78,21 @@ struct WlisWorkspace {
     cache_valid = false;
     tree_ready = false;
   }
+
+  /// Measured heap bytes this workspace holds: vector capacities, the
+  /// range tree's reserved arena chunks (tracked at chunk grant), and the
+  /// vEB pool when a vEB-backed solve left one emplaced. This is the
+  /// serving layer's per-tenant eviction accounting — evicting the owning
+  /// entry returns exactly these bytes.
+  size_t resident_bytes() const {
+    size_t b = tournament.resident_bytes() + frontiers.resident_bytes() +
+               rank_space.resident_bytes() + rank_scratch.resident_bytes() +
+               vec_bytes(batch) + vec_bytes(qpos_buf) + vec_bytes(qres) +
+               vec_bytes(swgs_rank) + vec_bytes(cached_a) +
+               tree.pool_reserved_bytes();
+    if (veb.has_value()) b += veb->pool_reserved_bytes();
+    return b;
+  }
 };
 
 }  // namespace parlis

@@ -19,6 +19,7 @@
 #include "parlis/api/solver.hpp"
 #include "parlis/parallel/random.hpp"
 #include "parlis/parallel/scheduler.hpp"
+#include "parlis/serve/engine.hpp"
 
 namespace {
 
@@ -193,6 +194,47 @@ int main() {
     guarded.solve_lis(a, lis_out);
   }
   expect_zero("guarded solves (token + deadline)", g_allocs.load() - base);
+
+  // Serving-engine steady state: a warm tenant served through the Engine's
+  // admission queue — submit-time lease acquire (table hit: an LRU splice,
+  // no alloc), caller-stack request, ring enqueue, dispatcher execution on
+  // the tenant's warm workspaces, release re-measure — plus a coalesced
+  // stateless solve through the batch solver. Zero allocations once the
+  // ring, the tenant, and both solvers are warm. (Appends are excluded by
+  // design: the session's rank dictionaries are node containers and churn
+  // is their job.)
+  {
+    serve::Engine engine{serve::EngineConfig{}};
+    const uint64_t kSeries = 7;
+    std::vector<int64_t> dp_out(static_cast<size_t>(n));
+    Query wq, wq2, lq;
+    wq.a = a;
+    wq.w = w;
+    wq.dp_out = dp_out;
+    wq2.a = a2;
+    wq2.w = w;
+    wq2.dp_out = dp_out;
+    lq.a = a;
+    QueryResult qr;
+    for (int r = 0; r < 3; r++) {
+      (void)engine.solve_warm(kSeries, wq);
+      (void)engine.solve_warm(kSeries, wq2);
+      engine.solve(std::span<const Query>(&lq, 1),
+                   std::span<QueryResult>(&qr, 1));
+    }
+    base = g_allocs.load();
+    for (int r = 0; r < 5; r++) {
+      (void)engine.solve_warm(kSeries, r % 2 ? wq2 : wq);
+      engine.solve(std::span<const Query>(&lq, 1),
+                   std::span<QueryResult>(&qr, 1));
+    }
+    expect_zero("engine warm serving (warm + coalesced)",
+                g_allocs.load() - base);
+    if (wlis_out.best != 0 && qr.k == 0) {
+      std::printf("FAIL engine returned an empty result\n");
+      failures++;
+    }
+  }
 
   // Sanity: the results are still right (vs a fresh one-shot call, which
   // of course allocates — outside any measured window).

@@ -35,6 +35,8 @@
 #include "parlis/api/solver.hpp"
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/random.hpp"
+#include "parlis/serve/engine.hpp"
+#include "parlis/serve/session_table.hpp"
 #include "parlis/stream/lis_session.hpp"
 #include "parlis/util/arena.hpp"
 #include "parlis/util/cancel.hpp"
@@ -229,6 +231,45 @@ std::vector<SiteDriver> site_drivers() {
                  LisSession sess = s.make_session();
                  sess.append(42);
                }});
+  d.push_back({"serve.admit", FireKind::kFault, [] {
+                 serve::SessionTable table(serve::SessionTable::Config{});
+                 (void)table.acquire(1);
+               }});
+  d.push_back({"serve.evict", FireKind::kFault, [a] {
+                 // Probe pass (budget 0 → the eviction walk, and with it the
+                 // site, is never reached): measure one streamed tenant,
+                 // then rebuild with a budget for ~1.5 of them. Session
+                 // appends grow un-gated by the solver's budget estimates,
+                 // so the pressure is deterministic.
+                 uint64_t one = 0;
+                 {
+                   serve::SessionTable::Config probe;
+                   probe.shards = 1;
+                   serve::SessionTable t(probe);
+                   {
+                     auto lease = t.acquire(1);
+                     for (int64_t v : *a) lease.session().append(v);
+                   }
+                   one = t.resident_bytes();
+                 }
+                 serve::SessionTable::Config cfg;
+                 cfg.shards = 1;
+                 cfg.memory_budget_bytes = one + one / 2;
+                 serve::SessionTable t(cfg);
+                 // Grow two tenants past the budget (idle residue is legal
+                 // until the next admission), then admit a third: its
+                 // eviction pass reaches the site.
+                 for (uint64_t series = 1; series <= 2; series++) {
+                   auto lease = t.acquire(series);
+                   for (int64_t v : *a) lease.session().append(v);
+                 }
+                 (void)t.acquire(3);
+               }});
+  d.push_back({"serve.coalesce", FireKind::kFault, [a] {
+                 serve::Engine engine(serve::EngineConfig{});
+                 Query q{std::span<const int64_t>(*a).subspan(0, 256)};
+                 (void)engine.solve_one(q);
+               }});
   d.push_back({"solver.packed_query", FireKind::kFault, [a, w] {
                  Solver s;
                  std::vector<Query> qs;
@@ -298,6 +339,46 @@ TEST_F(FaultInjection, ArenaSurvivesChunkAllocFailure) {
   void* p = ar.alloc(64, 8);
   EXPECT_NE(p, nullptr);
   EXPECT_GT(ar.reserved_bytes(), 0u);
+}
+
+// A serve.evict fault unwinds a half-admitted newcomer: the table must stay
+// coherent (victim still resident, newcomer absent) and the same acquire
+// must succeed once disarmed.
+TEST_F(FaultInjection, TableSurvivesEvictFault) {
+  const int64_t n = 4096;
+  const std::vector<int64_t> a = make_vals(n, 81);
+  uint64_t one = 0;
+  {
+    serve::SessionTable::Config probe;
+    probe.shards = 1;
+    serve::SessionTable t(probe);
+    {
+      auto lease = t.acquire(1);
+      for (int64_t v : a) lease.session().append(v);
+    }
+    one = t.resident_bytes();
+  }
+  serve::SessionTable::Config cfg;
+  cfg.shards = 1;
+  cfg.memory_budget_bytes = one + one / 2;
+  serve::SessionTable t(cfg);
+  // Two grown tenants put the shard over its slice (legal idle residue);
+  // the next admission must evict and therefore hits the armed site.
+  for (uint64_t series = 1; series <= 2; series++) {
+    auto lease = t.acquire(series);
+    for (int64_t v : a) lease.session().append(v);
+  }
+  failpoints::arm_nth("serve.evict", 1);
+  expect_error(ErrorCode::kFaultInjected, [&] { (void)t.acquire(3); });
+  failpoints::disarm_all();
+  EXPECT_TRUE(t.contains(1));   // the victim was never mutated
+  EXPECT_TRUE(t.contains(2));
+  EXPECT_FALSE(t.contains(3));  // the newcomer was unwound
+  EXPECT_EQ(t.tenant_count(), 2);
+  // Disarmed, the identical acquire evicts the LRU tail (tenant 1).
+  { auto lease = t.acquire(3); }
+  EXPECT_TRUE(t.contains(3));
+  EXPECT_FALSE(t.contains(1));
 }
 
 // After a mid-solve failure unwinds, the Solver's warm caches must have been
