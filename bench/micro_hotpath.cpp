@@ -17,8 +17,15 @@
 // acceptance setup: lis over n = 10^7 uniform-random keys, batch_insert of
 // m = 10^6 keys into universe 2^24.
 //
-// Flags: --n, --m, --reps, --threads, --out FILE (BENCH_*.json records),
-// --strict (exit 2 unless both acceptance speedups clear 20%; off by
+// A fourth pair of rows (simd_tournament_block, simd_rank_scan) measures
+// the vectorized comparison kernels (util/simd.hpp) against their scalar
+// twins by flipping the runtime toggle between interleaved runs of the
+// same binary: the standalone tournament counting pass over a duplicate-
+// heavy tree, and the blocked run scan of rank-space re-derivation.
+//
+// Flags: --n, --m, --reps, --threads, --simdn (input size for the paired
+// SIMD rows; defaults to --n), --out FILE (BENCH_*.json records),
+// --strict (exit 2 unless the acceptance speedups clear 20%; off by
 // default so tiny CI smoke sizes don't fail on noise).
 #include <atomic>
 #include <bit>
@@ -32,9 +39,12 @@
 #include "bench/bench_json.hpp"
 #include "parlis/api/solver.hpp"
 #include "parlis/lis/lis.hpp"
+#include "parlis/lis/tournament_tree.hpp"
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/primitives.hpp"
 #include "parlis/parallel/random.hpp"
+#include "parlis/util/rank_space.hpp"
+#include "parlis/util/simd.hpp"
 #include "parlis/veb/veb_tree.hpp"
 
 namespace seedref {
@@ -599,6 +609,88 @@ int main(int argc, char** argv) {
     json.add(rec);
   }
 
+  // ------------------------------------------------------ simd kernel rows
+  // Paired scalar-vs-SIMD medians for the comparison kernels, same binary
+  // and same memory on both sides: each rep runs the op once with the
+  // runtime toggle off and once with it on (util/simd.hpp routes every
+  // kernel to its scalar twin when off), so drift cancels exactly like the
+  // seed/current pairs above. Inputs are duplicate-heavy — dense frontiers
+  // keep the tournament counting pass inside the in-block sweep kernels
+  // instead of DRAM latency, and repeated keys give the run scan real run
+  // structure. On scalar-only builds the toggle is inert (both sides run
+  // the twins) and the gate below is skipped.
+  const int64_t sn = flags.get("simdn", n);
+  auto report_simd = [&](const char* op, int64_t size, const Measurement& mm) {
+    std::printf("%-14s  %14.1f  %16.1f  %8.1f%%  [%s]\n", op, mm.seed_ms,
+                mm.cur_ms, mm.speedup_pct(), simd::backend_name());
+    for (int variant = 0; variant < 2; variant++) {
+      JsonRecord rec;
+      rec.field("bench", "micro_hotpath")
+          .field("op", op)
+          .field("variant", variant == 0 ? "scalar" : "simd")
+          .field("n", size)
+          .field("threads", num_workers())
+          .field("median_ms", variant == 0 ? mm.seed_ms : mm.cur_ms);
+      if (variant == 1) {
+        rec.field("simd_backend", simd::backend_name())
+            .field("speedup_pct", mm.speedup_pct());
+      }
+      json.add(rec);
+    }
+  };
+  const bool prev_simd = simd::set_enabled(true);
+
+  // Tournament block kernels: the standalone Appendix A counting pass over
+  // a tree whose keys take 8 distinct values, so every block carries
+  // frontier leaves and the pass streams block to block through the 8-ary
+  // level sweeps (candidate masks, branchless leaf counts).
+  std::vector<int64_t> dup(sn);
+  parallel_for(0, sn,
+               [&](int64_t i) { dup[i] = static_cast<int64_t>(uniform(11, i, 8)); });
+  TournamentStorage<int64_t> sim_ws;
+  TournamentTree<int64_t> sim_tree(std::span<const int64_t>(dup), INT64_MAX,
+                                   sim_ws);
+  int64_t m_scal = 0, m_simd = 0;
+  Measurement tb = measure(
+      reps,
+      [&] {
+        simd::set_enabled(false);
+        m_scal = sim_tree.frontier_size();
+      },
+      [&] {
+        simd::set_enabled(true);
+        m_simd = sim_tree.frontier_size();
+      });
+  simd::set_enabled(prev_simd);
+  report_simd("simd_tournament_block", sn, tb);
+
+  // Rank scan: the blocked run scan re-derived over an established sorted
+  // order (the sort itself is out of the loop), sn/4 distinct keys.
+  std::vector<int64_t> skeys(sn);
+  parallel_for(0, sn, [&](int64_t i) {
+    skeys[i] =
+        static_cast<int64_t>(uniform(13, i, static_cast<uint64_t>(sn / 4 + 1)));
+  });
+  std::span<const int64_t> skeys_span(skeys);
+  RankSpace srs;
+  RankSpaceScratch srs_scratch;
+  rank_space_into<int64_t>(skeys_span, TiesPolicy::kStrict, srs, srs_scratch);
+  simd::set_enabled(false);
+  rank_space_rescan_strict<int64_t>(skeys_span, srs, srs_scratch);
+  std::vector<int64_t> scal_rank = srs.rank;  // scalar image, cross-checked
+  Measurement rsc = measure(
+      reps,
+      [&] {
+        simd::set_enabled(false);
+        rank_space_rescan_strict<int64_t>(skeys_span, srs, srs_scratch);
+      },
+      [&] {
+        simd::set_enabled(true);
+        rank_space_rescan_strict<int64_t>(skeys_span, srs, srs_scratch);
+      });
+  simd::set_enabled(prev_simd);
+  report_simd("simd_rank_scan", sn, rsc);
+
   // Cross-checks: identical results, and both visit counters inside the
   // Thm. 3.2 bound (the 8-ary layout counts considered entries, so the
   // absolute numbers differ from the seed's per-node counts).
@@ -609,13 +701,26 @@ int main(int argc, char** argv) {
             cur_flat_size == static_cast<int64_t>(a.size()) &&
             plain_out.k == cur.k && guard_out.k == cur.k &&
             seed_visits > 0 && static_cast<double>(seed_visits) <= visit_bound &&
-            cur_visits > 0 && static_cast<double>(cur_visits) <= visit_bound;
+            cur_visits > 0 && static_cast<double>(cur_visits) <= visit_bound &&
+            m_scal == m_simd && m_scal > 0 && srs.rank == scal_rank;
   std::printf("\ncross-check (identical results & visits within bound): %s\n",
               ok ? "OK" : "MISMATCH");
   bool pass = lis.speedup_pct() >= 20.0 && veb.speedup_pct() >= 20.0;
   std::printf("acceptance (>=20%% on lis_ranks and batch_insert): %s%s\n",
               pass ? "PASS" : "FAIL",
               flags.has("strict") ? "" : " (advisory; --strict gates exit)");
+  if (simd::kVectorized) {
+    bool simd_pass = tb.speedup_pct() >= 20.0 && rsc.speedup_pct() >= 20.0;
+    std::printf(
+        "simd acceptance (>=20%% on tournament-block and rank-scan): %s%s\n",
+        simd_pass ? "PASS" : "FAIL",
+        flags.has("strict") ? "" : " (advisory; --strict gates exit)");
+    pass = pass && simd_pass;
+  } else {
+    std::printf(
+        "simd acceptance: SKIPPED (scalar-only build; paired rows ran the "
+        "twins on both sides)\n");
+  }
   // 0.5 ms absolute floor: at smoke sizes 2% of the solve median is inside
   // this host's timer noise, and the true guard cost (one poll per round)
   // is microseconds — a sub-floor delta is not a regression.

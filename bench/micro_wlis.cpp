@@ -51,6 +51,7 @@
 #include "parlis/parallel/primitives.hpp"
 #include "parlis/parallel/random.hpp"
 #include "parlis/swgs/dominance_oracle.hpp"
+#include "parlis/util/simd.hpp"
 #include "parlis/veb/veb_tree.hpp"
 #include "parlis/wlis/wlis.hpp"
 
@@ -537,6 +538,44 @@ int main(int argc, char** argv) {
     json.add(rec);
   }
 
+  // ------------------------------------------------------------ wlis_simd
+  // Same-binary scalar-vs-SIMD pairing of the range-tree pipeline (the
+  // runtime toggle flips util/simd.hpp dispatch between interleaved runs).
+  // Advisory only: the full solve is dominated by memory-bound descents, so
+  // the kernel win shows as a modest end-to-end delta; the strict >=20%
+  // kernel gates live in micro_hotpath. On forced-scalar builds both sides
+  // run the scalar twins and the row documents parity.
+  WlisResult scal_wlis, simd_wlis;
+  const bool prev_simd = simd::set_enabled(true);
+  Measurement m_simd = measure(
+      reps,
+      [&] {
+        simd::set_enabled(false);
+        scal_wlis = wlis(a, w, WlisStructure::kRangeTree);
+      },
+      [&] {
+        simd::set_enabled(true);
+        simd_wlis = wlis(a, w, WlisStructure::kRangeTree);
+      });
+  simd::set_enabled(prev_simd);
+  std::printf("%-14s  %14.1f  %16.1f  %8.1f%%  [%s]\n", "wlis_simd",
+              m_simd.seed_ms, m_simd.cur_ms, m_simd.speedup_pct(),
+              simd::backend_name());
+  for (int variant = 0; variant < 2; variant++) {
+    JsonRecord rec;
+    rec.field("bench", "micro_wlis")
+        .field("op", "wlis_simd")
+        .field("variant", variant == 0 ? "scalar" : "simd")
+        .field("n", n)
+        .field("threads", num_workers())
+        .field("median_ms", variant == 0 ? m_simd.seed_ms : m_simd.cur_ms);
+    if (variant == 1) {
+      rec.field("simd_backend", simd::backend_name())
+          .field("speedup_pct", m_simd.speedup_pct());
+    }
+    json.add(rec);
+  }
+
   // --------------------------------------------------------- oracle_build
   volatile int64_t sink = 0;
   Measurement m_orcl = measure(
@@ -555,7 +594,8 @@ int main(int argc, char** argv) {
   // including after deletions.
   bool ok = seed_tree.dp == cur_tree.dp && seed_tree.best == cur_tree.best &&
             node_veb.dp == word_veb.dp && node_veb.best == word_veb.best &&
-            node_veb.k == word_veb.k && seed_tree.k == cur_tree.k;
+            node_veb.k == word_veb.k && seed_tree.k == cur_tree.k &&
+            scal_wlis.dp == simd_wlis.dp && scal_wlis.best == simd_wlis.best;
   {
     seedref::SeedDominanceOracle so(ao);
     DominanceOracle co(ao);

@@ -84,8 +84,9 @@ LisResult& Solver::scratch_lis_result() { return main_ctx_->lis_res; }
 // never-under-estimating is.
 
 size_t Solver::rank_space_bytes(int64_t n) {
-  // order/pos/rank/qpos (4 x int64) + sort scratch and per-block carries.
-  return static_cast<size_t>(n) * 48 + (size_t{1} << 16);
+  // order/pos/rank/qpos (4 x int64) + sort scratch, per-block carries, and
+  // the vector run scan's sorted-key image (8B) + run-start masks (~0.13B).
+  return static_cast<size_t>(n) * 58 + (size_t{1} << 16);
 }
 
 size_t Solver::lis_scratch_bytes(int64_t n) {

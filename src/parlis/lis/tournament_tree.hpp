@@ -55,11 +55,13 @@
 #include <cassert>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/worker_counter.hpp"
 #include "parlis/util/resident.hpp"
+#include "parlis/util/simd.hpp"
 
 namespace parlis {
 
@@ -150,12 +152,29 @@ class TournamentTree {
     return m;
   }
 
+  /// Pass 1 of the Appendix A two-pass extraction, standalone: the size of
+  /// the current frontier without extracting it (callers size their buffer,
+  /// then run extract_frontier_collect_into). Charges the visit counter
+  /// exactly like the counting pass it is.
+  int64_t frontier_size() {
+    if (empty()) return 0;
+    return count_frontier();
+  }
+
  private:
   // Flat 8-ary block geometry: 8 supergroups x 8 groups x 8 leaves.
   static constexpr int64_t kBlockLeaves = 512;
   static constexpr int64_t kL2Off = 8;        // 64 group minima
   static constexpr int64_t kLeafOff = 8 + 64;  // 512 leaves
   static constexpr int64_t kBlockStride = kLeafOff + kBlockLeaves;
+
+  // The vector kernels (util/simd.hpp) speak the int64 total order, which
+  // is exactly the rank image every public entry point feeds this tree
+  // after rank-space reduction. Generic keys / custom comparators keep the
+  // scalar sweeps — the discarded if-constexpr branches below never
+  // instantiate the int64 kernels for them.
+  static constexpr bool kSimdKernels =
+      std::is_same_v<T, int64_t> && std::is_same_v<Less, std::less<int64_t>>;
 
   TournamentTree(std::span<const T> xs, T inf, TournamentStorage<T>* storage,
                  Less less)
@@ -195,11 +214,31 @@ class TournamentTree {
   T* block(int64_t b) { return blocks_ + kBlockStride * b; }
 
   T min8(const T* p) const {
-    T m = p[0];
-    for (int j = 1; j < 8; j++) {
-      if (less_(p[j], m)) m = p[j];
+    if constexpr (kSimdKernels) {
+      return simd::min8_i64(p);
+    } else {
+      return min8_post(p);
     }
-    return m;
+  }
+
+  // Post-sweep level refresh. Extraction sweeps store individual 8-byte
+  // entries (removed leaves -> inf, refreshed child minima) and immediately
+  // re-reduce the same 8 entries; a 32-byte vector reload there cannot
+  // store-to-load forward from the pending narrow stores and stalls on
+  // every extracted leaf, which costs more than the reduction itself. The
+  // refresh therefore always uses the scalar chain (8-byte loads forward
+  // fine); the vector min8 is kept for construction, where the fill loop's
+  // stores are vector-wide.
+  T min8_post(const T* p) const {
+    if constexpr (kSimdKernels) {
+      return simd::min8_i64_scalar(p);
+    } else {
+      T m = p[0];
+      for (int j = 1; j < 8; j++) {
+        if (less_(p[j], m)) m = p[j];
+      }
+      return m;
+    }
   }
 
   // Recomputes internal top-tree nodes below node i (`sub` = leaf slots
@@ -251,7 +290,7 @@ class TournamentTree {
       uint64_t vis = 0;
       block_extract(blk, (i - top_leaves_) * kBlockLeaves, lmin, visit, vis);
       st_->visits.add(vis);
-      top_[i] = min8(blk);
+      top_[i] = min8_post(blk);
       return;
     }
     st_->visits.add(1);
@@ -303,7 +342,7 @@ class TournamentTree {
       block_extract(blk, (i - top_leaves_) * kBlockLeaves, lmin,
                     [&](int64_t idx) { *cursor++ = idx; }, vis);
       st_->visits.add(vis);
-      top_[i] = min8(blk);
+      top_[i] = min8_post(blk);
       return;
     }
     st_->visits.add(1);
@@ -324,10 +363,38 @@ class TournamentTree {
   // minimum qualifies against the running bound, and the bound then absorbs
   // that minimum. `vis` counts considered entries, batched into one counter
   // update per block visit.
+  //
+  // Vector form (int64 keys): one compare against the level's *initial*
+  // bound replaces the 8 scalar compares. Any entry with value > bound can
+  // neither be entered (the running bound starts at `bound` and only
+  // decreases) nor lower the running bound itself, so the candidate mask
+  // `value <= bound && value < inf` contains every entry the scalar sweep
+  // interacts with; walking its set bits in ascending order with the exact
+  // scalar enter/absorb checks reproduces the sweep bit-for-bit. `vis`
+  // still charges all 8 considered entries per level, so the Thm. 3.2
+  // visit accounting the property tests assert is unchanged. Entries are
+  // read before their own descent mutates them, and a descent only mutates
+  // the entry it descends through, never a later sibling, so the pre-sweep
+  // mask stays valid across the walk.
 
   template <typename Visit>
   void block_extract(T* blk, int64_t base, const T& lmin, const Visit& visit,
                      uint64_t& vis) {
+    if constexpr (kSimdKernels) {
+      if (simd::enabled()) {
+        T cur = lmin;
+        uint32_t m = simd::cand_mask8_i64(blk, cur, inf_);
+        vis += 8;
+        while (m) {
+          const int64_t s = std::countr_zero(m);
+          m &= m - 1;
+          T v = blk[s];  // pre value: the descent below mutates blk[s]
+          if (!(cur < v)) super_extract(blk, s, base, cur, visit, vis);
+          if (v < cur) cur = v;
+        }
+        return;
+      }
+    }
     T cur = lmin;
     for (int64_t s = 0; s < 8; s++) {
       vis++;
@@ -343,6 +410,22 @@ class TournamentTree {
   void super_extract(T* blk, int64_t s, int64_t base, const T& bound,
                      const Visit& visit, uint64_t& vis) {
     T* l2 = blk + kL2Off + 8 * s;
+    if constexpr (kSimdKernels) {
+      if (simd::enabled()) {
+        T cur = bound;
+        uint32_t m = simd::cand_mask8_i64(l2, cur, inf_);
+        vis += 8;
+        while (m) {
+          const int64_t j = std::countr_zero(m);
+          m &= m - 1;
+          T w = l2[j];
+          if (!(cur < w)) group_extract(blk, 8 * s + j, base, cur, visit, vis);
+          if (w < cur) cur = w;
+        }
+        blk[s] = min8_post(l2);
+        return;
+      }
+    }
     T cur = bound;
     for (int64_t j = 0; j < 8; j++) {
       vis++;
@@ -352,13 +435,31 @@ class TournamentTree {
       }
       if (less_(w, cur)) cur = w;
     }
-    blk[s] = min8(l2);
+    blk[s] = min8_post(l2);
   }
 
   template <typename Visit>
   void group_extract(T* blk, int64_t g, int64_t base, const T& bound,
                      const Visit& visit, uint64_t& vis) {
     T* leaf = blk + kLeafOff + 8 * g;
+    if constexpr (kSimdKernels) {
+      if (simd::enabled()) {
+        // The leaf sweep is the hot tier (every report ends here), so it
+        // uses the fully branchless kernel: the extracted-lane mask, the
+        // inf overwrites and the refreshed group minimum all come out of
+        // registers — no per-candidate reload chain, no 8-entry re-reduce.
+        vis += 8;
+        T gmin;
+        uint32_t ext = simd::sweep8_extract_i64(leaf, bound, inf_, &gmin);
+        while (ext) {
+          const int64_t j = std::countr_zero(ext);
+          ext &= ext - 1;
+          visit(base + 8 * g + j);
+        }
+        blk[kL2Off + g] = gmin;
+        return;
+      }
+    }
     T cur = bound;
     for (int64_t j = 0; j < 8; j++) {
       vis++;
@@ -369,11 +470,27 @@ class TournamentTree {
       }
       if (less_(x, cur)) cur = x;
     }
-    blk[kL2Off + g] = min8(leaf);
+    blk[kL2Off + g] = min8_post(leaf);
   }
 
   // Pass 1 within a block: identical sweeps, no mutation, returns the count.
   int64_t block_count(const T* blk, const T& lmin, uint64_t& vis) const {
+    if constexpr (kSimdKernels) {
+      if (simd::enabled()) {
+        T cur = lmin;
+        int64_t c = 0;
+        uint32_t m = simd::cand_mask8_i64(blk, cur, inf_);
+        vis += 8;
+        while (m) {
+          const int64_t s = std::countr_zero(m);
+          m &= m - 1;
+          const T v = blk[s];
+          if (!(cur < v)) c += super_count(blk, s, cur, vis);
+          if (v < cur) cur = v;
+        }
+        return c;
+      }
+    }
     T cur = lmin;
     int64_t c = 0;
     for (int64_t s = 0; s < 8; s++) {
@@ -388,6 +505,22 @@ class TournamentTree {
   int64_t super_count(const T* blk, int64_t s, const T& bound,
                       uint64_t& vis) const {
     const T* l2 = blk + kL2Off + 8 * s;
+    if constexpr (kSimdKernels) {
+      if (simd::enabled()) {
+        T cur = bound;
+        int64_t c = 0;
+        uint32_t m = simd::cand_mask8_i64(l2, cur, inf_);
+        vis += 8;
+        while (m) {
+          const int64_t j = std::countr_zero(m);
+          m &= m - 1;
+          const T w = l2[j];
+          if (!(cur < w)) c += group_count(blk, 8 * s + j, cur, vis);
+          if (w < cur) cur = w;
+        }
+        return c;
+      }
+    }
     T cur = bound;
     int64_t c = 0;
     for (int64_t j = 0; j < 8; j++) {
@@ -404,6 +537,12 @@ class TournamentTree {
   int64_t group_count(const T* blk, int64_t g, const T& bound,
                       uint64_t& vis) const {
     const T* leaf = blk + kLeafOff + 8 * g;
+    if constexpr (kSimdKernels) {
+      if (simd::enabled()) {
+        vis += 8;
+        return simd::sweep8_count_i64(leaf, bound, inf_);
+      }
+    }
     T cur = bound;
     int64_t c = 0;
     for (int64_t j = 0; j < 8; j++) {

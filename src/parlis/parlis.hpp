@@ -28,5 +28,6 @@
 #include "parlis/util/error.hpp"            // parlis::Error + ErrorCode
 #include "parlis/util/failpoint.hpp"        // deterministic fault injection
 #include "parlis/util/rank_space.hpp"       // TiesPolicy + rank compression
+#include "parlis/util/simd.hpp"             // vector comparison kernels
 #include "parlis/util/generators.hpp"       // paper input generators
 #include "parlis/util/timer.hpp"

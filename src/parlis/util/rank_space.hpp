@@ -28,14 +28,17 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "parlis/parallel/parallel.hpp"
 #include "parlis/parallel/primitives.hpp"
 #include "parlis/util/resident.hpp"
+#include "parlis/util/simd.hpp"
 
 namespace parlis {
 
@@ -69,63 +72,105 @@ struct RankSpace {
 };
 
 /// Reusable scratch for rank_space_into (merge buffer + per-block run
-/// carries). Same-size re-compressions through one scratch allocate nothing.
+/// carries; the int64 vector scan adds a contiguous sorted-key image and
+/// per-block run-start bit masks). Same-size re-compressions through one
+/// scratch allocate nothing.
 struct RankSpaceScratch {
   std::vector<int64_t> sort_buf;
   std::vector<int64_t> carry_qpos;  // incoming run start per block
   std::vector<int64_t> carry_rank;  // incoming dense rank per block
+  std::vector<int64_t> sorted_keys;  // keys[order[p]], gathered once (SIMD)
+  std::vector<uint64_t> run_masks;   // run-start bits, 64 words/block (SIMD)
 
   size_t resident_bytes() const {
-    return vec_bytes(sort_buf) + vec_bytes(carry_qpos) + vec_bytes(carry_rank);
+    return vec_bytes(sort_buf) + vec_bytes(carry_qpos) +
+           vec_bytes(carry_rank) + vec_bytes(sorted_keys) +
+           vec_bytes(run_masks);
   }
 };
 
-/// Compresses `keys` into `rs` under `ties`, reusing every buffer in `rs`
-/// and `scratch`. `less` must be a strict weak ordering; keys i and j are
-/// equal iff neither less(keys[i], keys[j]) nor less(keys[j], keys[i]).
+/// Recomputes the kStrict run-scan outputs (qpos, rank, n_distinct) from an
+/// already-sorted `rs.order`. This is the scan half of rank_space_into,
+/// exposed on its own so the paired scalar-vs-SIMD bench rows and the
+/// kernel tests can exercise the run scan without paying for the sort.
+/// Requires rs.order/pos filled for `keys` (any prior rank_space_into).
+///
+/// kStrict is a blocked two-pass run scan over the sorted order. Position p
+/// starts a run iff its key differs from its predecessor's; the run start
+/// is qpos, the number of run starts at or before p (minus one) is the
+/// dense rank. Pass 1 computes each block's outgoing (run start, run
+/// count); a short sequential sweep turns them into incoming carries;
+/// pass 2 replays each block. The carries live in the scratch, so the
+/// whole scan is allocation-free when warm.
+///
+/// int64 keys under std::less take the vector path: the sorted key image is
+/// gathered once into contiguous scratch (the scalar scan gathers twice,
+/// through `order`, per pass), pass 1 derives per-block run-start *bit
+/// masks* with vector neighbor-compares (sorted order makes "predecessor
+/// differs" and "predecessor is less" the same test), and both passes then
+/// read popcounts/bits instead of re-comparing keys.
 template <typename Key, typename Less = std::less<Key>>
-void rank_space_into(std::span<const Key> keys, TiesPolicy ties,
-                     RankSpace& rs, RankSpaceScratch& scratch,
-                     Less less = Less{}) {
+void rank_space_rescan_strict(std::span<const Key> keys, RankSpace& rs,
+                              RankSpaceScratch& scratch, Less less = Less{}) {
   const int64_t n = static_cast<int64_t>(keys.size());
-  rs.order.resize(n);
-  rs.pos.resize(n);
-  rs.rank.resize(n);
-  rs.qpos.resize(n);
   rs.n_distinct = 0;
   if (n == 0) return;
-  scratch.sort_buf.resize(n);
-  parallel_for(0, n, [&](int64_t i) { rs.order[i] = i; });
-  // (key, index) is a total order, so the allocation-free std::sort base
-  // case applies.
-  sort_with_buffer_total(rs.order.data(), scratch.sort_buf.data(), n,
-                         [&](int64_t i, int64_t j) {
-                           if (less(keys[i], keys[j])) return true;
-                           if (less(keys[j], keys[i])) return false;
-                           return i < j;
-                         });
-  parallel_for(0, n, [&](int64_t p) { rs.pos[rs.order[p]] = p; });
-  if (ties == TiesPolicy::kNonDecreasing) {
-    // Stable (key, index) ranking: the sorted position itself. Ranks are a
-    // permutation of [0, n) and every key is distinct in rank space.
-    parallel_for(0, n, [&](int64_t i) {
-      rs.rank[i] = rs.pos[i];
-      rs.qpos[i] = rs.pos[i];
-    });
-    rs.n_distinct = n;
-    return;
-  }
-  // kStrict: blocked two-pass run scan over the sorted order. Position p
-  // starts a run iff its key differs from its predecessor's; the run start
-  // is qpos, the number of run starts at or before p (minus one) is the
-  // dense rank. Pass 1 computes each block's outgoing (run start, run
-  // count); a short sequential sweep turns them into incoming carries;
-  // pass 2 replays each block. The carries live in the scratch, so the
-  // whole scan is allocation-free when warm.
   constexpr int64_t kBlock = 4096;
+  constexpr int64_t kMaskWords = kBlock / 64;
   const int64_t nblocks = (n + kBlock - 1) / kBlock;
   scratch.carry_qpos.resize(nblocks);
   scratch.carry_rank.resize(nblocks);
+  [[maybe_unused]] constexpr bool kSimdKeys =
+      std::is_same_v<Key, int64_t> && std::is_same_v<Less, std::less<int64_t>>;
+  if constexpr (kSimdKeys) {
+    if (simd::enabled()) {
+      scratch.sorted_keys.resize(n);
+      scratch.run_masks.resize(nblocks * kMaskWords);
+      const int64_t* order = rs.order.data();
+      int64_t* sorted = scratch.sorted_keys.data();
+      parallel_for(0, n, [&](int64_t p) { sorted[p] = keys[order[p]]; });
+      parallel_for(0, nblocks, [&](int64_t b) {
+        const int64_t lo = b * kBlock, hi = std::min(n, lo + kBlock);
+        uint64_t* mw = scratch.run_masks.data() + b * kMaskWords;
+        simd::run_masks_i64(sorted, lo, hi, /*force_first=*/b == 0, mw);
+        int64_t last = -1, runs = 0;
+        for (int64_t w = (hi - lo - 1) / 64; w >= 0; w--) {
+          runs += std::popcount(mw[w]);
+          if (last < 0 && mw[w] != 0) {
+            last = lo + 64 * w + (63 - std::countl_zero(mw[w]));
+          }
+        }
+        scratch.carry_qpos[b] = last;  // -1: block opens no run
+        scratch.carry_rank[b] = runs;
+      });
+      int64_t carry_start = 0, carry_rank = 0;
+      for (int64_t b = 0; b < nblocks; b++) {
+        const int64_t last = scratch.carry_qpos[b];
+        const int64_t runs = scratch.carry_rank[b];
+        scratch.carry_qpos[b] = carry_start;
+        scratch.carry_rank[b] = carry_rank;
+        if (last >= 0) carry_start = last;
+        carry_rank += runs;
+      }
+      rs.n_distinct = carry_rank;
+      parallel_for(0, nblocks, [&](int64_t b) {
+        const int64_t lo = b * kBlock, hi = std::min(n, lo + kBlock);
+        const uint64_t* mw = scratch.run_masks.data() + b * kMaskWords;
+        int64_t start = scratch.carry_qpos[b];
+        int64_t rank = scratch.carry_rank[b] - 1;  // rank of the open run
+        for (int64_t p = lo; p < hi; p++) {
+          const int64_t off = p - lo;
+          if ((mw[off >> 6] >> (off & 63)) & 1) {
+            start = p;
+            rank++;
+          }
+          rs.qpos[order[p]] = start;
+          rs.rank[order[p]] = rank;
+        }
+      });
+      return;
+    }
+  }
   auto run_starts = [&](int64_t p) {
     return p == 0 || less(keys[rs.order[p - 1]], keys[rs.order[p]]);
   };
@@ -164,6 +209,44 @@ void rank_space_into(std::span<const Key> keys, TiesPolicy ties,
       rs.rank[rs.order[p]] = rank;
     }
   });
+}
+
+/// Compresses `keys` into `rs` under `ties`, reusing every buffer in `rs`
+/// and `scratch`. `less` must be a strict weak ordering; keys i and j are
+/// equal iff neither less(keys[i], keys[j]) nor less(keys[j], keys[i]).
+template <typename Key, typename Less = std::less<Key>>
+void rank_space_into(std::span<const Key> keys, TiesPolicy ties,
+                     RankSpace& rs, RankSpaceScratch& scratch,
+                     Less less = Less{}) {
+  const int64_t n = static_cast<int64_t>(keys.size());
+  rs.order.resize(n);
+  rs.pos.resize(n);
+  rs.rank.resize(n);
+  rs.qpos.resize(n);
+  rs.n_distinct = 0;
+  if (n == 0) return;
+  scratch.sort_buf.resize(n);
+  parallel_for(0, n, [&](int64_t i) { rs.order[i] = i; });
+  // (key, index) is a total order, so the allocation-free std::sort base
+  // case applies.
+  sort_with_buffer_total(rs.order.data(), scratch.sort_buf.data(), n,
+                         [&](int64_t i, int64_t j) {
+                           if (less(keys[i], keys[j])) return true;
+                           if (less(keys[j], keys[i])) return false;
+                           return i < j;
+                         });
+  parallel_for(0, n, [&](int64_t p) { rs.pos[rs.order[p]] = p; });
+  if (ties == TiesPolicy::kNonDecreasing) {
+    // Stable (key, index) ranking: the sorted position itself. Ranks are a
+    // permutation of [0, n) and every key is distinct in rank space.
+    parallel_for(0, n, [&](int64_t i) {
+      rs.rank[i] = rs.pos[i];
+      rs.qpos[i] = rs.pos[i];
+    });
+    rs.n_distinct = n;
+    return;
+  }
+  rank_space_rescan_strict<Key, Less>(keys, rs, scratch, less);
 }
 
 /// One-shot convenience form (fresh buffers per call).

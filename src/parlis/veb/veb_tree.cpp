@@ -806,10 +806,7 @@ int64_t check_node(const Node* v, uint64_t universe) {
     }
     // Word block: the mask is the summary word over the cluster words.
     check_that(v->words != nullptr, "nonempty word base has words");
-    uint64_t derived = 0;
-    for (uint64_t h = 0; h < v->nwords(); h++) {
-      if (v->words[h] != 0) derived |= uint64_t{1} << h;
-    }
+    uint64_t derived = veb_words::block_summary_of(v->words, v->nwords());
     check_that(v->mask == derived, "word summary matches nonzero words");
     check_that(v->min == veb_words::block_min(v->mask, v->words),
                "word base min = first set bit");

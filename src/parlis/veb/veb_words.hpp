@@ -23,14 +23,43 @@
 //     pred_lt (the "predecessor of +inf" query after clamping)
 #pragma once
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <limits>
 #include <type_traits>
 
+#include "parlis/util/simd.hpp"
+
 namespace parlis::veb_words {
 
 inline constexpr uint64_t kWordNone = ~uint64_t{0};
+
+namespace detail {
+
+// Strict above/below candidate masks, one table load per probe. The word
+// kernels build these with shifts and guard the j == 63 / j == 0 edge with
+// a branch each; the widened block probes below fold both probes of a
+// succ/pred (home word and summary) over the tables instead, so the whole
+// candidate computation is issued branch-free before the first find-first-
+// set decides anything. kBelow has a 65th entry: x may equal the universe
+// bound for pred queries.
+inline constexpr std::array<uint64_t, 64> kAbove = [] {
+  std::array<uint64_t, 64> a{};
+  for (int j = 0; j < 64; j++) {
+    a[j] = j == 63 ? 0 : ~uint64_t{0} << (j + 1);
+  }
+  return a;
+}();
+
+inline constexpr std::array<uint64_t, 65> kBelow = [] {
+  std::array<uint64_t, 65> a{};
+  for (int j = 0; j < 64; j++) a[j] = (uint64_t{1} << j) - 1;
+  a[64] = ~uint64_t{0};
+  return a;
+}();
+
+}  // namespace detail
 
 // ------------------------------------------------------- single-word kernels
 //
@@ -152,7 +181,9 @@ inline uint64_t block_max(uint64_t summary, const uint64_t* words) {
   return (h << 6) | word_max(words[h]);
 }
 
-inline int64_t block_count(uint64_t summary, const uint64_t* words) {
+/// Reference (narrow) count: summary-guided word hops, one popcount per
+/// non-empty word. Kept as the twin the tests diff block_count against.
+inline int64_t block_count_ref(uint64_t summary, const uint64_t* words) {
   int64_t total = 0;
   for (uint64_t s = summary; s != 0; s &= s - 1) {
     total += std::popcount(words[word_min(s)]);
@@ -160,10 +191,31 @@ inline int64_t block_count(uint64_t summary, const uint64_t* words) {
   return total;
 }
 
-/// Smallest key > x, or kWordNone. Requires x < nwords * 64 (callers clamp
-/// at the universe boundary, as VebTree::succ_gt already does).
-inline uint64_t block_succ_gt(uint64_t summary, const uint64_t* words,
-                              uint64_t x) {
+inline int64_t block_count(uint64_t summary, const uint64_t* words) {
+  if (summary == 0) return 0;
+  // Dense blocks: a straight-line popcount sweep up to the highest live
+  // word (vector nibble-LUT under AVX2, hardware popcnt otherwise) beats
+  // hopping the summary bits; sparse blocks keep the hop. Empty words
+  // contribute zero either way, so the cutover — deterministic, from the
+  // summary alone — never changes the result.
+  const uint64_t hw = word_max(summary) + 1;
+  if (simd::enabled() && static_cast<uint64_t>(std::popcount(summary)) * 2 >= hw) {
+    return simd::words_count(words, hw);
+  }
+  return block_count_ref(summary, words);
+}
+
+/// Recomputes a summary from the words (bulk loads, invariant checks):
+/// bit h set iff words[h] != 0. Vector compare-to-zero + movemask when the
+/// SIMD layer is on.
+inline uint64_t block_summary_of(const uint64_t* words, uint64_t nwords) {
+  return parlis::simd::summary_of_words(words, nwords);
+}
+
+/// Reference (narrow) succ probe: the pre-widening two-branch form, kept
+/// as the twin the tests diff block_succ_gt against.
+inline uint64_t block_succ_gt_ref(uint64_t summary, const uint64_t* words,
+                                  uint64_t x) {
   uint64_t h = x >> 6;
   if ((summary >> h) & 1) {
     uint64_t l = word_succ_gt(words[h], x & 63);
@@ -174,10 +226,31 @@ inline uint64_t block_succ_gt(uint64_t summary, const uint64_t* words,
   return (hs << 6) | word_min(words[hs]);
 }
 
-/// Largest key < x, or kWordNone. Accepts x up to nwords * 64 inclusive
-/// (pred of the universe bound).
-inline uint64_t block_pred_lt(uint64_t summary, const uint64_t* words,
-                              uint64_t nwords, uint64_t x) {
+/// Smallest key > x, or kWordNone. Requires x < nwords * 64 (callers clamp
+/// at the universe boundary, as VebTree::succ_gt already does).
+///
+/// Widened probe: one summary read masked by the above-table yields both
+/// the home-word test and the successor-cluster candidate set, and the
+/// home word's own candidates come from the same table — no shift-guard
+/// branches, and the summary-first contract (words[h] is only loaded when
+/// its summary bit is set) is preserved for sparse blocks.
+inline uint64_t block_succ_gt(uint64_t summary, const uint64_t* words,
+                              uint64_t x) {
+  uint64_t h = x >> 6;
+  uint64_t cand = summary & (detail::kAbove[h] | (uint64_t{1} << h));
+  if ((cand >> h) & 1) {
+    uint64_t l = words[h] & detail::kAbove[x & 63];
+    if (l != 0) return (h << 6) | word_min(l);
+  }
+  cand &= detail::kAbove[h];
+  if (cand == 0) return kWordNone;
+  uint64_t hs = word_min(cand);
+  return (hs << 6) | word_min(words[hs]);
+}
+
+/// Reference (narrow) pred probe, the twin of block_pred_lt.
+inline uint64_t block_pred_lt_ref(uint64_t summary, const uint64_t* words,
+                                  uint64_t nwords, uint64_t x) {
   uint64_t h = x >> 6;
   if (h < nwords && ((summary >> h) & 1)) {
     uint64_t l = word_pred_lt(words[h], x & 63);
@@ -185,6 +258,23 @@ inline uint64_t block_pred_lt(uint64_t summary, const uint64_t* words,
   }
   uint64_t hp = word_pred_lt(summary, h);
   if (hp == kWordNone) return kWordNone;
+  return (hp << 6) | word_max(words[hp]);
+}
+
+/// Largest key < x, or kWordNone. Accepts x up to nwords * 64 inclusive
+/// (pred of the universe bound). Widened like block_succ_gt; the kBelow
+/// table's 65th entry absorbs the x == universe case the narrow form
+/// branches on.
+inline uint64_t block_pred_lt(uint64_t summary, const uint64_t* words,
+                              uint64_t nwords, uint64_t x) {
+  uint64_t h = x >> 6;
+  if (h < nwords && ((summary >> h) & 1)) {
+    uint64_t l = words[h] & detail::kBelow[x & 63];
+    if (l != 0) return (h << 6) | word_max(l);
+  }
+  uint64_t cand = summary & detail::kBelow[h < 64 ? h : 64];
+  if (cand == 0) return kWordNone;
+  uint64_t hp = word_max(cand);
   return (hp << 6) | word_max(words[hp]);
 }
 
